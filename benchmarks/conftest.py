@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the experiment benches.
+
+Every bench reproduces one table or figure from the paper's evaluation:
+it regenerates the figure's series (printed with ``-s``), asserts the
+*shape* properties the paper reports (who wins, orderings, crossover
+positions), and times the underlying computation via pytest-benchmark.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict, List, Sequence
+
+import pytest
+
+from repro import (
+    BPBigSmallSystem,
+    BPSmallBigSystem,
+    BPSystem,
+    CDSearchSystem,
+    MigrationMode,
+    MPSSystem,
+    UGPUSystem,
+    build_mix,
+)
+from repro.core.system import SystemResult
+from repro.workloads import heterogeneous_pairs
+
+#: The paper's simulation horizon (Section 5).
+HORIZON = 25_000_000
+
+
+def run_policy(policy: str, abbrs: Sequence[str], **kwargs) -> SystemResult:
+    """Instantiate and run one policy on a fresh mix."""
+    apps = build_mix(list(abbrs)).applications
+    factories: Dict[str, Callable] = {
+        "BP": lambda: BPSystem(apps, **kwargs),
+        "BP-BS": lambda: BPBigSmallSystem(apps, **kwargs),
+        "BP-SB": lambda: BPSmallBigSystem(apps, **kwargs),
+        "MPS": lambda: MPSSystem(apps, **kwargs),
+        "CD": lambda: CDSearchSystem(apps, **kwargs),
+        "UGPU": lambda: UGPUSystem(apps, **kwargs),
+        "UGPU-offline": lambda: UGPUSystem(apps, offline=True, **kwargs),
+        "UGPU-soft": lambda: UGPUSystem(
+            apps, mode=MigrationMode.SOFTWARE, **kwargs
+        ),
+        "UGPU-ori": lambda: UGPUSystem(
+            apps, mode=MigrationMode.TRADITIONAL, **kwargs
+        ),
+    }
+    return factories[policy]().run(HORIZON, mix_name="_".join(abbrs))
+
+
+def sweep_policy(policy: str, pairs=None, **kwargs) -> List[SystemResult]:
+    """Run one policy across workload pairs (default: all 50
+    heterogeneous mixes)."""
+    selected = pairs if pairs is not None else heterogeneous_pairs()
+    return [run_policy(policy, pair, **kwargs) for pair in selected]
+
+
+def mean_gain(results: Sequence[SystemResult],
+              baseline: Sequence[SystemResult]) -> float:
+    """Mean relative STP gain over a baseline, as a fraction."""
+    gains = [r.stp / b.stp - 1.0 for r, b in zip(results, baseline)]
+    return statistics.fmean(gains)
+
+
+def mean_antt_gain(results: Sequence[SystemResult],
+                   baseline: Sequence[SystemResult]) -> float:
+    """Mean ANTT improvement (baseline/result - 1; positive is better)."""
+    gains = [b.antt / r.antt - 1.0 for r, b in zip(results, baseline)]
+    return statistics.fmean(gains)
+
+
+def print_series(title: str, rows: Sequence[tuple]) -> None:
+    """Print a labelled series the way the paper's figures tabulate it."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + "  ".join(str(c) for c in row))
+
+
+@pytest.fixture
+def horizon():
+    return HORIZON

@@ -1,0 +1,63 @@
+"""Ablation A4 — SM handover policy: drain vs. switch vs. adaptive.
+
+The paper adopts draining when a thread block completes within the epoch
+and switching otherwise (Section 3.3).  This bench quantifies both costs
+across block durations and shows the adaptive rule always picks the
+cheaper mechanism.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import GPUConfig
+from repro.core import SMPolicy, SMReallocator
+
+EPOCH = 5_000_000
+TB_DURATIONS = (50_000, 200_000, 1_000_000, 5_000_000, 20_000_000)
+
+
+def test_drain_vs_switch_cost_crossover(benchmark):
+    reallocator = SMReallocator(GPUConfig())
+
+    def sweep():
+        out = {}
+        for tb in TB_DURATIONS:
+            drain = reallocator.drain_cost(8, tb).cycles
+            switch = reallocator.switch_cost(8, channels_available=16).cycles
+            adaptive = reallocator.cost(8, tb, EPOCH, 16)
+            out[tb] = (drain, switch, adaptive.policy, adaptive.cycles)
+        return out
+
+    results = benchmark(sweep)
+    rows = [("TB cycles", "drain cost", "switch cost", "adaptive")]
+    for tb, (drain, switch, policy, cycles) in results.items():
+        rows.append((f"{tb:,}", f"{drain:,.0f}", f"{switch:,.0f}",
+                     f"{policy.value} ({cycles:,.0f})"))
+    print_series("Ablation: SM handover policy (8 SMs, 16 channels)", rows)
+
+    # Draining wins for short blocks; switching for very long ones.
+    short = results[50_000]
+    long = results[20_000_000]
+    assert short[0] < short[1]           # drain cheaper
+    assert long[0] > long[1]             # switch cheaper
+    # The adaptive rule follows the epoch boundary.
+    for tb, (drain, switch, policy, cycles) in results.items():
+        expected = SMPolicy.DRAIN if tb <= EPOCH else SMPolicy.SWITCH
+        assert policy is expected
+
+
+def test_switch_cost_scales_with_available_bandwidth(benchmark):
+    reallocator = SMReallocator(GPUConfig())
+
+    def sweep():
+        return {m: reallocator.switch_cost(8, channels_available=m).cycles
+                for m in (4, 8, 16, 32)}
+
+    costs = benchmark(sweep)
+    print_series("Switch cost by channel count (8 SMs)",
+                 [(m, f"{c:,.0f}") for m, c in costs.items()])
+    # Twice the channels, half the context-copy time (above the fixed
+    # preemption overhead).
+    fixed = SMReallocator(GPUConfig()).switch_fixed_cycles
+    assert costs[8] - fixed == pytest.approx((costs[16] - fixed) * 2)
+    assert costs[4] - fixed == pytest.approx((costs[32] - fixed) * 8)

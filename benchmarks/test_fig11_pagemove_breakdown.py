@@ -1,0 +1,70 @@
+"""F11 — Figure 11: the performance benefit breakdown of PageMove.
+
+Compares BP, UGPU-Ori (traditional page migration), UGPU-Soft (customized
+address mapping + virtual-memory updates, no crossbar hardware) and full
+UGPU.  Paper headlines:
+
+* UGPU-Ori *loses* to BP by 16.8% on average — unbalanced slicing without
+  fast migration is a net negative;
+* UGPU-Soft recovers 12.7% over UGPU-Ori;
+* the crossbar + PPMM hardware delivers the rest, putting UGPU +34.3%
+  over BP.
+"""
+
+import statistics
+
+import pytest
+from conftest import mean_gain, print_series, sweep_policy
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        policy: sweep_policy(policy)
+        for policy in ("BP", "UGPU-ori", "UGPU-soft", "UGPU")
+    }
+
+
+def test_fig11_stp_breakdown(benchmark, results):
+    def summarize():
+        bp = results["BP"]
+        return {p: mean_gain(results[p], bp) for p in
+                ("UGPU-ori", "UGPU-soft", "UGPU")}
+
+    gains = benchmark(summarize)
+    paper = {"UGPU-ori": -0.168, "UGPU-soft": None, "UGPU": 0.343}
+    rows = [("design", "mean STP vs BP", "paper")]
+    for policy, gain in gains.items():
+        rows.append((policy, f"{gain:+.1%}",
+                     f"{paper[policy]:+.1%}" if paper[policy] else "(between)"))
+    print_series("Figure 11: PageMove benefit breakdown", rows)
+
+    # UGPU-Ori's massive migration makes it *worse* than BP on average.
+    assert gains["UGPU-ori"] < -0.05
+    # The mapping + VM software recovers a chunk...
+    assert gains["UGPU-soft"] > gains["UGPU-ori"] + 0.08
+    # ...and the crossbar/PPMM hardware delivers the rest.
+    assert gains["UGPU"] > gains["UGPU-soft"] + 0.10
+    assert gains["UGPU"] > 0.15
+
+
+def test_fig11_per_workload_ordering(benchmark, results):
+    """The BP < Soft < UGPU ordering holds for the large majority of
+    individual workloads, with Ori frequently below BP."""
+
+    def count_orderings():
+        below_bp = full_best = 0
+        for bp, ori, soft, ugpu in zip(results["BP"], results["UGPU-ori"],
+                                       results["UGPU-soft"], results["UGPU"]):
+            if ori.stp < bp.stp:
+                below_bp += 1
+            if ugpu.stp >= soft.stp and ugpu.stp >= ori.stp:
+                full_best += 1
+        return below_bp, full_best
+
+    below_bp, full_best = benchmark(count_orderings)
+    total = len(results["BP"])
+    print(f"\n  UGPU-Ori below BP on {below_bp}/{total} workloads; "
+          f"full UGPU best on {full_best}/{total}")
+    assert below_bp >= total // 2
+    assert full_best == total

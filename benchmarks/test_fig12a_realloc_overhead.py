@@ -1,0 +1,61 @@
+"""F12a — Figure 12(a): fraction of each epoch spent on resource
+reallocation (SM migration plus data migration).
+
+Paper: applications keep executing during reallocation; the combined
+SM + data migration occupies 8.9% of an epoch on average and 19.5% in the
+worst case, thanks to PageMove's fast migration.
+"""
+
+import statistics
+
+import pytest
+from conftest import print_series, sweep_policy
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep_policy("UGPU")
+
+
+def test_fig12a_migration_time_fraction(benchmark, results):
+    def collect():
+        fractions = []
+        for result in results:
+            fractions.extend(result.migration_fractions())
+        return fractions
+
+    fractions = benchmark(collect)
+    nonzero = [f for f in fractions if f > 0]
+    mean_all = statistics.fmean(fractions)
+    worst = max(fractions)
+    print_series("Figure 12(a): per-epoch reallocation occupancy", [
+        ("epochs observed", len(fractions)),
+        ("epochs with reallocation", len(nonzero)),
+        ("mean fraction", f"{mean_all:.1%}  (paper 8.9%)"),
+        ("worst fraction", f"{worst:.1%}  (paper 19.5%)"),
+    ])
+
+    # Stable workloads show zero-overhead epochs (no repartitioning).
+    assert any(f == 0 for f in fractions)
+    # The mean stays in the paper's single-digit band...
+    assert mean_all < 0.15
+    # ...and the worst case stays bounded (paper: 19.5%).
+    assert worst <= 0.25
+
+
+def test_fig12a_overhead_concentrated_at_phase_changes(benchmark, results):
+    """Reallocation overhead appears in the epochs where repartitioning
+    happened, not uniformly."""
+
+    def split():
+        with_repart, without = [], []
+        for result in results:
+            for epoch in result.epochs:
+                target = with_repart if epoch.repartitioned else without
+                target.append(epoch.migration_fraction)
+        return with_repart, without
+
+    with_repart, without = benchmark(split)
+    # Epochs following a repartition carry the overhead; untouched epochs
+    # carry (almost) none of the *new* overhead.
+    assert statistics.fmean(without) <= statistics.fmean(with_repart) + 0.05

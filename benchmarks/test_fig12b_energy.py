@@ -1,0 +1,71 @@
+"""F12b — Figure 12(b): energy discussion.
+
+Paper aggregates for heterogeneous workloads:
+
+* the GPU core and HBM occupy 88.3% / 11.6% of system energy on average
+  (HBM up to 30.3% for memory-heavy mixes);
+* UGPU's migration raises memory-system energy by ~38%;
+* the performance gain cuts static energy, for a ~7.1% net system saving
+  (per unit of work).
+"""
+
+import statistics
+
+import pytest
+from conftest import print_series, sweep_policy
+
+from repro.metrics import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def results():
+    energy = EnergyModel()
+    return {
+        "BP": sweep_policy("BP", energy_model=energy),
+        "UGPU": sweep_policy("UGPU", energy_model=energy),
+    }
+
+
+def test_fig12b_energy_split(benchmark, results):
+    def fractions():
+        return [r.energy.memory_fraction for r in results["BP"]]
+
+    memory_fractions = benchmark(fractions)
+    mean_frac = statistics.fmean(memory_fractions)
+    print_series("Figure 12(b): BP energy split", [
+        ("mean HBM share", f"{mean_frac:.1%}  (paper 11.6%)"),
+        ("max HBM share", f"{max(memory_fractions):.1%}  (paper up to 30.3%)"),
+        ("core share", f"{1 - mean_frac:.1%}  (paper 88.3%)"),
+    ])
+    # Core dominates; HBM is a limited but workload-dependent share.
+    assert 0.03 < mean_frac < 0.30
+    assert max(memory_fractions) < 0.45
+
+
+def test_fig12b_migration_energy_and_net_saving(benchmark, results):
+    def compare():
+        mem_increase, per_work = [], []
+        for bp, ugpu in zip(results["BP"], results["UGPU"]):
+            mem_increase.append(
+                (ugpu.energy.migration + ugpu.energy.mem_dynamic)
+                / max(bp.energy.mem_dynamic, 1e-12) - 1
+            )
+            # Energy per unit of normalized progress: the static energy is
+            # amortized over more work under UGPU.
+            bp_work = bp.stp
+            ugpu_work = ugpu.stp
+            per_work.append(
+                (ugpu.energy.total / ugpu_work) / (bp.energy.total / bp_work) - 1
+            )
+        return statistics.fmean(mem_increase), statistics.fmean(per_work)
+
+    mem_increase, per_work_delta = benchmark(compare)
+    print_series("Figure 12(b): UGPU vs BP energy", [
+        ("memory-system dynamic energy", f"{mem_increase:+.1%}  (paper +38%)"),
+        ("system energy per unit work", f"{per_work_delta:+.1%}  (paper -7.1%)"),
+    ])
+    # Migration adds memory energy...
+    assert mem_increase > 0.0
+    # ...but the speedup amortizes static power: net energy per unit of
+    # work drops.
+    assert per_work_delta < -0.02

@@ -1,0 +1,61 @@
+"""F2 — Figure 2: compute-bound application (DXTC) scaling.
+
+(a) With 40 SMs, performance is flat as channels shrink from 32 until a
+    left-edge knee, below which it collapses.
+(b) With 16 channels, performance scales linearly with SM count.
+
+All values normalized to the half-GPU point (40 SMs / 16 channels), as in
+the paper.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import GPUConfig, PerformanceModel, build_application
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(GPUConfig())
+
+
+@pytest.fixture(scope="module")
+def dxtc():
+    return build_application("DXTC").kernels[0]
+
+
+def test_fig2a_performance_vs_channel_count(benchmark, model, dxtc):
+    baseline = model.throughput(dxtc, 40, 16).ipc
+
+    def sweep():
+        return {m: model.throughput(dxtc, 40, m).ipc / baseline
+                for m in (2, 4, 8, 12, 16, 20, 24, 28, 32)}
+
+    series = benchmark(sweep)
+    print_series("Figure 2(a): DXTC, 40 SMs, varying channels",
+                 [(m, f"{v:.3f}") for m, v in series.items()])
+
+    # Flat from 32 down to the knee...
+    assert series[32] == pytest.approx(1.0)
+    assert series[16] == pytest.approx(1.0)
+    assert series[8] == pytest.approx(1.0, abs=0.02)
+    # ...then decreasing MCs eventually decreases performance.
+    assert series[2] < 0.9
+    assert series[2] < series[4] <= series[8]
+
+
+def test_fig2b_performance_vs_sm_count(benchmark, model, dxtc):
+    baseline = model.throughput(dxtc, 40, 16).ipc
+
+    def sweep():
+        return {s: model.throughput(dxtc, s, 16).ipc / baseline
+                for s in (20, 30, 40, 50, 60, 70, 80)}
+
+    series = benchmark(sweep)
+    print_series("Figure 2(b): DXTC, 16 channels, varying SMs",
+                 [(s, f"{v:.3f}") for s, v in series.items()])
+
+    # Linear: performance proportional to SM count (16 MCs satisfy the
+    # bandwidth demand even with 80 SMs).
+    for s, value in series.items():
+        assert value == pytest.approx(s / 40, rel=0.02)

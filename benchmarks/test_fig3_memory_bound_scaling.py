@@ -1,0 +1,66 @@
+"""F3 — Figure 3: memory-bound application (PVC) scaling.
+
+(a) With 40 SMs, performance first scales linearly with channel count,
+    then grows slowly once 40 SMs can no longer pull the extra bandwidth.
+(b) With 16 channels, performance is flat from 40 to 80 SMs and declines
+    once the application can only use ~20 SMs.
+
+All values normalized to the half-GPU point, as in the paper.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import GPUConfig, PerformanceModel, build_application
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(GPUConfig())
+
+
+@pytest.fixture(scope="module")
+def pvc():
+    return build_application("PVC").kernels[0]
+
+
+def test_fig3a_performance_vs_channel_count(benchmark, model, pvc):
+    baseline = model.throughput(pvc, 40, 16).ipc
+
+    def sweep():
+        return {m: model.throughput(pvc, 40, m).ipc / baseline
+                for m in (4, 8, 12, 16, 20, 24, 28, 32)}
+
+    series = benchmark(sweep)
+    print_series("Figure 3(a): PVC, 40 SMs, varying channels",
+                 [(m, f"{v:.3f}") for m, v in series.items()])
+
+    # Linear at first...
+    assert series[8] == pytest.approx(2 * series[4], rel=0.06)
+    assert series[16] == pytest.approx(1.0)
+    # ...then eventually slowly: the last segment's slope is clearly below
+    # the early linear slope (40 SMs cannot fully utilize 32 channels).
+    early = (series[12] - series[4]) / 8
+    late = (series[32] - series[28]) / 4
+    assert late < 0.7 * early
+    assert series[32] > series[28]  # still improving, just slowly
+
+
+def test_fig3b_performance_vs_sm_count(benchmark, model, pvc):
+    baseline = model.throughput(pvc, 40, 16).ipc
+
+    def sweep():
+        return {s: model.throughput(pvc, s, 16).ipc / baseline
+                for s in (8, 12, 16, 20, 40, 60, 80)}
+
+    series = benchmark(sweep)
+    print_series("Figure 3(b): PVC, 16 channels, varying SMs",
+                 [(s, f"{v:.3f}") for s, v in series.items()])
+
+    # Flat from 40 to 80 SMs.
+    assert series[80] == pytest.approx(series[40], rel=0.01)
+    # Performance begins to decrease around 20 SMs...
+    assert series[20] >= 0.9
+    # ...and clearly declines below it.
+    assert series[12] < series[20]
+    assert series[8] < 0.8

@@ -1,0 +1,67 @@
+"""F4 — Figure 4: system performance of a heterogeneous workload
+(PVC_DXTC) as resources are redistributed.
+
+The x/y axes give the memory-bound application's share; the compute-bound
+application gets the remainder.  The paper's message: starting from the
+even partition, moving SMs to the compute-bound app and channels to the
+memory-bound app raises system performance; the opposite direction lowers
+it.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import GPUConfig, PerformanceModel, build_application
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = PerformanceModel(GPUConfig())
+    pvc = build_application("PVC").kernels[0]
+    dxtc = build_application("DXTC").kernels[0]
+    alone = {
+        "PVC": model.throughput(pvc, 80, 32).ipc,
+        "DXTC": model.throughput(dxtc, 80, 32).ipc,
+    }
+    return model, pvc, dxtc, alone
+
+
+def stp_at(model, pvc, dxtc, alone, pvc_sms, pvc_mcs):
+    a = model.throughput(pvc, pvc_sms, pvc_mcs).ipc / alone["PVC"]
+    b = model.throughput(dxtc, 80 - pvc_sms, 32 - pvc_mcs).ipc / alone["DXTC"]
+    return a + b
+
+
+def test_fig4_resource_distribution_surface(benchmark, setup):
+    model, pvc, dxtc, alone = setup
+
+    def sweep():
+        grid = {}
+        for sms in (12, 20, 28, 36, 40, 44, 52, 60):
+            for mcs in (8, 12, 16, 20, 24, 28):
+                grid[(sms, mcs)] = stp_at(model, pvc, dxtc, alone, sms, mcs)
+        return grid
+
+    grid = benchmark(sweep)
+    rows = [("PVC SMs \\ MCs",) + (8, 12, 16, 20, 24, 28)]
+    for sms in (12, 20, 28, 36, 40, 44, 52, 60):
+        rows.append((sms,) + tuple(
+            f"{grid[(sms, mcs)]:.2f}" for mcs in (8, 12, 16, 20, 24, 28)
+        ))
+    print_series("Figure 4: STP vs resources given to PVC", rows)
+
+    even = grid[(40, 16)]
+    best = max(grid.values())
+    best_point = max(grid, key=grid.get)
+
+    # Fewer SMs + more MCs for the memory-bound app beats the even split.
+    assert grid[(28, 24)] > even
+    # The optimum is unbalanced: PVC holds fewer SMs and more channels
+    # than its even share.
+    assert best_point[0] < 40
+    assert best_point[1] > 16
+    assert best > 1.25 * even
+    # The opposite direction (more SMs, fewer MCs to the memory-bound
+    # app) degrades system performance.
+    assert grid[(52, 12)] < even
+    assert grid[(60, 8)] < even

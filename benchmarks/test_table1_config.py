@@ -1,0 +1,70 @@
+"""T1 — Table 1: the simulated GPU architecture.
+
+Regenerates the configuration table and checks every row against the
+paper's published values.
+"""
+
+from conftest import print_series
+
+from repro import GPUConfig
+
+
+def test_table1_simulated_architecture(benchmark):
+    config = benchmark(GPUConfig)
+    config.validate()
+
+    rows = [
+        ("No. SMs", config.num_sms, "80 SMs"),
+        ("SM frequency", f"{config.sm_freq_ghz} GHz", "1.4 GHz"),
+        ("SIMT width", config.simt_width, 32),
+        ("Max threads/SM", config.max_threads_per_sm, 2048),
+        ("Warps/SM", config.max_warps_per_sm, 64),
+        ("Warp schedulers/SM", config.warp_schedulers_per_sm, 2),
+        ("Shared memory/SM", f"{config.shared_memory_per_sm // 1024} KB", "96 KB"),
+        ("L1D size", f"{config.l1d_size // 1024} KB", "48 KB"),
+        ("L1D geometry", f"{config.l1d_ways}-way, {config.l1d_sets} sets", "6-way, 64 sets"),
+        ("L1D MSHRs", config.l1d_mshr_entries, 128),
+        ("L1 TLB entries", config.l1_tlb_entries, 64),
+        ("LLC size", f"{config.llc_size // (1024 * 1024)} MB", "6 MB"),
+        ("LLC slices", config.llc_slices, 64),
+        ("LLC geometry", f"{config.llc_ways}-way, {config.llc_sets_per_slice} sets", "16-way, 48 sets"),
+        ("LLC latency", f"{config.llc_latency_cycles} cycles", "120 cycles"),
+        ("L2 TLB", f"{config.l2_tlb_entries} entries, {config.l2_tlb_ways}-way", "512, 16-way"),
+        ("NoC", f"{config.noc_ports_sm}x{config.noc_ports_mem} crossbar, "
+                f"{config.noc_channel_bytes} B channels", "80x64, 32 B"),
+        ("Memory stacks", config.hbm.num_stacks, 4),
+        ("Channels/stack", config.hbm.channels_per_stack, 8),
+        ("Bank groups/channel", config.hbm.bank_groups_per_channel, 4),
+        ("Banks/group", config.hbm.banks_per_group, 4),
+        ("Queue entries", config.hbm.queue_entries, 64),
+        ("Memory frequency", f"{config.hbm.freq_mhz} MHz", "440 MHz"),
+        ("Total bandwidth", f"{config.hbm.total_bandwidth_gbps} GB/s", "900 GB/s"),
+        ("PTW threads", config.ptw_threads, 64),
+        ("Page table levels", config.page_table_levels, 4),
+    ]
+    print_series("Table 1: simulated GPU architecture", rows)
+
+    # Every 'measured' column must equal the paper column.
+    assert config.num_sms == 80
+    assert config.sm_freq_ghz == 1.4
+    assert config.max_threads_per_sm == 2048
+    assert config.llc_size == 6 * 1024 * 1024
+    assert config.llc_slices == 64
+    assert config.hbm.num_stacks == 4
+    assert config.hbm.channels_per_stack == 8
+    assert config.hbm.total_bandwidth_gbps == 900.0
+    assert config.hbm.queue_entries == 64
+
+
+def test_table1_hbm_timing(benchmark):
+    timing = benchmark(lambda: GPUConfig().hbm.timing)
+    rows = [(name, getattr(timing, name)) for name in (
+        "tRC", "tRCD", "tRP", "tCL", "tWL", "tRAS", "tRRDl", "tRRDs",
+        "tFAW", "tRTP", "tCCDl", "tCCDs", "tWTRl", "tWTRs",
+    )]
+    print_series("Table 1: HBM timing (memory clocks)", rows)
+    expected = dict(tRC=47, tRCD=14, tRP=14, tCL=14, tWL=2, tRAS=33,
+                    tRRDl=6, tRRDs=4, tFAW=20, tRTP=4, tCCDl=2, tCCDs=1,
+                    tWTRl=8, tWTRs=3)
+    for name, value in expected.items():
+        assert getattr(timing, name) == value, name

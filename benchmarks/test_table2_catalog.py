@@ -1,0 +1,75 @@
+"""T2 — Table 2: the GPU-compute benchmark catalog.
+
+Regenerates the benchmark table (MPKI, kernel count, footprint) and checks
+the class split that produces the paper's 50 heterogeneous + 55
+homogeneous two-program workloads.
+"""
+
+from conftest import print_series
+
+from repro import GPUConfig, PerformanceModel, TABLE2, build_application
+from repro.workloads import (
+    COMPUTE_BOUND_ABBRS,
+    MEMORY_BOUND_ABBRS,
+    all_pairs,
+    heterogeneous_pairs,
+    homogeneous_pairs,
+)
+
+
+def test_table2_benchmark_catalog(benchmark):
+    specs = benchmark(lambda: list(TABLE2))
+    rows = [("Benchmark", "Abbr", "MPKI", "#Knls", "Footprint", "Class")]
+    for spec in specs:
+        rows.append((
+            spec.name, spec.abbr, spec.mpki, spec.num_kernels,
+            f"{spec.footprint_mb} MB",
+            "memory" if spec.memory_bound else "compute",
+        ))
+    print_series("Table 2: GPU-compute benchmarks", rows)
+
+    assert len(specs) == 15
+    assert len(MEMORY_BOUND_ABBRS) == 10
+    assert len(COMPUTE_BOUND_ABBRS) == 5
+    published = {
+        "PVC": (4.79, 1, 3810), "LBM": (6.09, 3, 389), "BH": (1.54, 14, 48),
+        "DWT2D": (2.72, 1, 301), "EULER3D": (4.39, 7, 286),
+        "FWT": (2.23, 4, 269), "LAVAMD": (10.45, 1, 123),
+        "SC": (3.42, 2, 302), "CONVS": (1.14, 4, 151), "SRAD": (1.09, 1, 1048),
+        "DXTC": (0.0004, 2, 20), "HOTSPOT": (0.08, 1, 130),
+        "PF": (0.06, 5, 792), "CP": (0.02, 1, 40), "MRI-Q": (0.01, 3, 50),
+    }
+    for spec in specs:
+        mpki, kernels, footprint = published[spec.abbr]
+        assert spec.mpki == mpki
+        assert spec.num_kernels == kernels
+        assert spec.footprint_mb == footprint
+
+
+def test_table2_workload_mix_counts(benchmark):
+    pairs = benchmark(all_pairs)
+    assert len(heterogeneous_pairs()) == 50
+    assert len(homogeneous_pairs()) == 55
+    assert len(pairs) == 105
+
+
+def test_table2_classification_boundary(benchmark):
+    """Each benchmark lands on its published side of the Equation 1/2
+    demand/supply boundary at the even partition."""
+    model = PerformanceModel(GPUConfig())
+
+    def classify():
+        out = {}
+        for spec in TABLE2:
+            kernel = build_application(spec.abbr, with_hit_curve=False).kernels[0]
+            out[spec.abbr] = model.throughput(kernel, 40, 16).demand_supply_ratio
+        return out
+
+    ratios = benchmark(classify)
+    rows = [(abbr, f"{ratio:.2f}") for abbr, ratio in ratios.items()]
+    print_series("Demand/supply ratio at 40 SMs / 16 channels", rows)
+    for spec in TABLE2:
+        if spec.memory_bound:
+            assert ratios[spec.abbr] > 1.0, spec.abbr
+        else:
+            assert ratios[spec.abbr] < 1.0, spec.abbr

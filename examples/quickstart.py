@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run one heterogeneous workload under BP and UGPU.
+
+Builds the paper's motivating mix — PVC (memory-bound) co-executing with
+DXTC (compute-bound) — and compares the balanced-partition baseline
+against UGPU's dynamically constructed unbalanced slices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BPSystem, UGPUSystem, build_mix
+
+
+def main() -> None:
+    horizon = 25_000_000  # the paper's 25M-cycle simulation window
+
+    # Balanced partitioning (MIG-like): each app gets 40 SMs / 16 channels.
+    bp = BPSystem(build_mix(["PVC", "DXTC"]).applications).run(horizon)
+
+    # UGPU: epoch profiling + demand-aware repartitioning + PageMove.
+    system = UGPUSystem(build_mix(["PVC", "DXTC"]).applications)
+    ugpu = system.run(horizon)
+
+    print("PVC (memory-bound) + DXTC (compute-bound), 25M cycles\n")
+    print(f"{'policy':<8} {'STP':>6} {'ANTT':>6}   per-app normalized progress")
+    for result in (bp, ugpu):
+        nps = ", ".join(
+            f"{run.name}={run.normalized_progress:.2f}" for run in result.runs
+        )
+        print(f"{result.policy:<8} {result.stp:>6.3f} {result.antt:>6.2f}   {nps}")
+
+    print("\nUGPU's final slice sizes:")
+    for state in system.apps.values():
+        alloc = state.allocation
+        print(f"  {state.app.name:<6} {alloc.sms} SMs, {alloc.channels} memory channels")
+
+    gain = ugpu.stp / bp.stp - 1
+    print(f"\nSTP gain over BP: {gain:+.1%} "
+          f"(paper reports +34.3% on average across 50 heterogeneous mixes)")
+
+
+if __name__ == "__main__":
+    main()

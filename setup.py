@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` (legacy
+editable install) where modern PEP-517 editable installs would require
+``bdist_wheel``.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

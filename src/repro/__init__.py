@@ -1,0 +1,114 @@
+"""repro — UGPU: Dynamically Constructing Unbalanced GPUs (ISCA 2025).
+
+A full-system reproduction of UGPU: dynamically constructed, unbalanced
+GPU slices with demand-aware resource partitioning and PageMove intra-HBM
+page migration.
+
+Quickstart::
+
+    from repro import BPSystem, UGPUSystem, build_mix
+
+    mix = build_mix(["PVC", "DXTC"])
+    bp = BPSystem(mix.applications).run()
+    mix2 = build_mix(["PVC", "DXTC"])
+    ugpu = UGPUSystem(mix2.applications).run()
+    print(f"STP: BP={bp.stp:.2f}  UGPU={ugpu.stp:.2f}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.baselines import (
+    BPBigSmallSystem,
+    BPSmallBigSystem,
+    BPSystem,
+    CDSearchSystem,
+    MPSSystem,
+)
+from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
+from repro.core import (
+    AlgorithmCostModel,
+    AppProfile,
+    DemandAwarePartitioner,
+    EpochProfiler,
+    GPUSlice,
+    MultitaskSystem,
+    PartitionState,
+    QoSTarget,
+    ResourceAllocation,
+    SystemResult,
+    UGPUSystem,
+)
+from repro.gpu import Application, GPUConfig, Kernel, PerformanceModel
+from repro.hbm import HBMConfig, HBMSystem, HBMTiming
+from repro.metrics import AppRun, EnergyModel, antt, stp
+from repro.pagemove import (
+    MigrationCostModel,
+    MigrationEngine,
+    MigrationMode,
+    PageMoveAddressMapping,
+)
+from repro.workloads import (
+    TABLE2,
+    build_ai_application,
+    build_application,
+    build_mix,
+    catalog,
+    heterogeneous_pairs,
+    homogeneous_pairs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # GPU substrate
+    "GPUConfig",
+    "Kernel",
+    "Application",
+    "PerformanceModel",
+    # HBM substrate
+    "HBMConfig",
+    "HBMTiming",
+    "HBMSystem",
+    # PageMove
+    "PageMoveAddressMapping",
+    "MigrationMode",
+    "MigrationCostModel",
+    "MigrationEngine",
+    # Core
+    "ResourceAllocation",
+    "GPUSlice",
+    "PartitionState",
+    "AppProfile",
+    "EpochProfiler",
+    "DemandAwarePartitioner",
+    "AlgorithmCostModel",
+    "QoSTarget",
+    "MultitaskSystem",
+    "SystemResult",
+    "UGPUSystem",
+    # Cluster extension
+    "GPUNode",
+    "ClusterScheduler",
+    "PlacementPolicy",
+    # Baselines
+    "BPSystem",
+    "BPBigSmallSystem",
+    "BPSmallBigSystem",
+    "MPSSystem",
+    "CDSearchSystem",
+    # Metrics
+    "AppRun",
+    "stp",
+    "antt",
+    "EnergyModel",
+    # Workloads
+    "TABLE2",
+    "catalog",
+    "build_application",
+    "build_ai_application",
+    "build_mix",
+    "heterogeneous_pairs",
+    "homogeneous_pairs",
+]

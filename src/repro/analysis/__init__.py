@@ -1,0 +1,23 @@
+"""Result aggregation and reporting.
+
+Utilities the experiment harness and downstream users share: a sweep
+runner that evaluates policies over workload lists, summary statistics in
+the paper's terms (mean/max STP gain, ANTT improvement, QoS floors), and
+plain-text / Markdown table rendering for reports like EXPERIMENTS.md.
+"""
+
+from repro.analysis.ascii_plot import bar_chart, compare_sparklines, sparkline
+from repro.analysis.report import Table, format_markdown, format_text
+from repro.analysis.sweep import PolicySweep, SweepSummary, compare_policies
+
+__all__ = [
+    "PolicySweep",
+    "SweepSummary",
+    "compare_policies",
+    "Table",
+    "format_text",
+    "format_markdown",
+    "sparkline",
+    "bar_chart",
+    "compare_sparklines",
+]

@@ -1,0 +1,74 @@
+"""Dependency-free ASCII rendering of experiment series.
+
+The benches print the numeric series the paper's figures plot; these
+helpers add a visual: unicode sparklines for sorted-workload curves
+(Figure 10's x-axis) and horizontal bar charts for policy comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = None, hi: float = None) -> str:
+    """Render a series as a unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (so multiple sparklines are comparable);
+    they default to the series' own min/max.
+    """
+    if not values:
+        raise ConfigError("cannot sparkline an empty series")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi < lo:
+        raise ConfigError(f"hi ({hi}) must be >= lo ({lo})")
+    span = hi - lo
+    chars = []
+    for value in values:
+        if span == 0:
+            level = 0
+        else:
+            clamped = min(max(value, lo), hi)
+            level = int((clamped - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def bar_chart(series: Dict[str, float], width: int = 40,
+              baseline: float = 0.0) -> str:
+    """Render labelled values as horizontal bars.
+
+    Bars start at ``baseline``; negative-relative values render with a
+    ``-`` fill so losses are visually distinct.
+    """
+    if not series:
+        raise ConfigError("cannot chart an empty series")
+    if width <= 0:
+        raise ConfigError("width must be positive")
+    label_width = max(len(label) for label in series)
+    span = max(abs(value - baseline) for value in series.values()) or 1.0
+    lines: List[str] = []
+    for label, value in series.items():
+        delta = value - baseline
+        length = int(abs(delta) / span * width)
+        fill = ("█" if delta >= 0 else "-") * length
+        lines.append(f"{label.ljust(label_width)} |{fill} {value:.3f}")
+    return "\n".join(lines)
+
+
+def compare_sparklines(series: Dict[str, Sequence[float]]) -> str:
+    """Sparklines for several series on one shared scale."""
+    if not series:
+        raise ConfigError("cannot compare an empty set of series")
+    flat = [v for values in series.values() for v in values]
+    lo, hi = min(flat), max(flat)
+    label_width = max(len(label) for label in series)
+    return "\n".join(
+        f"{label.ljust(label_width)} {sparkline(values, lo, hi)} "
+        f"[{min(values):.2f}..{max(values):.2f}]"
+        for label, values in series.items()
+    )

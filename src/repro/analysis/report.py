@@ -1,0 +1,65 @@
+"""Small, dependency-free table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Table:
+    """A titled table of rows; cells are stringified on render."""
+
+    title: str
+    header: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> "Table":
+        if len(cells) != len(self.header):
+            raise ConfigError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+        return self
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.header).index(name)
+        except ValueError:
+            raise ConfigError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+def _widths(table: Table) -> List[int]:
+    cells = [table.header] + [[str(c) for c in row] for row in table.rows]
+    return [
+        max(len(str(row[i])) for row in cells)
+        for i in range(len(table.header))
+    ]
+
+
+def format_text(table: Table) -> str:
+    """Fixed-width plain-text rendering."""
+    widths = _widths(table)
+
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [f"== {table.title} ==", line(table.header),
+           line("-" * w for w in widths)]
+    out.extend(line(row) for row in table.rows)
+    return "\n".join(out)
+
+
+def format_markdown(table: Table) -> str:
+    """GitHub-flavoured Markdown rendering."""
+    def line(cells):
+        return "| " + " | ".join(str(c) for c in cells) + " |"
+
+    out = [f"### {table.title}", "", line(table.header),
+           line("---" for _ in table.header)]
+    out.extend(line(row) for row in table.rows)
+    return "\n".join(out)

@@ -1,0 +1,123 @@
+"""Policy sweeps over workload lists, with paper-style summaries."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import Table
+from repro.core.system import SystemResult
+from repro.errors import ConfigError
+from repro.workloads.mixes import build_mix
+
+
+@dataclass
+class SweepSummary:
+    """Aggregate statistics of one policy over a workload list."""
+
+    policy: str
+    stp_values: List[float]
+    antt_values: List[float]
+    min_np_values: List[float]
+
+    @property
+    def mean_stp(self) -> float:
+        return statistics.fmean(self.stp_values)
+
+    @property
+    def mean_antt(self) -> float:
+        return statistics.fmean(self.antt_values)
+
+    @property
+    def worst_min_np(self) -> float:
+        return min(self.min_np_values)
+
+    def stp_gain_over(self, baseline: "SweepSummary") -> float:
+        """Mean per-workload STP gain over a baseline sweep."""
+        if len(baseline.stp_values) != len(self.stp_values):
+            raise ConfigError("sweeps cover different workload lists")
+        return statistics.fmean(
+            mine / theirs - 1.0
+            for mine, theirs in zip(self.stp_values, baseline.stp_values)
+        )
+
+    def antt_gain_over(self, baseline: "SweepSummary") -> float:
+        if len(baseline.antt_values) != len(self.antt_values):
+            raise ConfigError("sweeps cover different workload lists")
+        return statistics.fmean(
+            theirs / mine - 1.0
+            for mine, theirs in zip(self.antt_values, baseline.antt_values)
+        )
+
+
+class PolicySweep:
+    """Run one policy factory across many workload mixes.
+
+    ``factory`` receives a fresh application list per mix and returns a
+    system with a ``run(total_cycles, mix_name=...)`` method.
+    """
+
+    def __init__(self, name: str, factory: Callable, total_cycles: int = 25_000_000):
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        self.name = name
+        self.factory = factory
+        self.total_cycles = total_cycles
+        self.results: List[SystemResult] = []
+
+    def run(self, workloads: Sequence[Sequence[str]]) -> SweepSummary:
+        """Evaluate every mix; returns the summary (results kept too)."""
+        self.results = []
+        for abbrs in workloads:
+            apps = build_mix(list(abbrs)).applications
+            result = self.factory(apps).run(
+                self.total_cycles, mix_name="_".join(abbrs)
+            )
+            self.results.append(result)
+        return self.summary()
+
+    def summary(self) -> SweepSummary:
+        if not self.results:
+            raise ConfigError("sweep has not been run")
+        return SweepSummary(
+            policy=self.name,
+            stp_values=[r.stp for r in self.results],
+            antt_values=[r.antt for r in self.results],
+            min_np_values=[r.min_np for r in self.results],
+        )
+
+
+def compare_policies(
+    policies: Dict[str, Callable],
+    workloads: Sequence[Sequence[str]],
+    baseline: str = "BP",
+    total_cycles: int = 25_000_000,
+) -> Tuple[Table, Dict[str, SweepSummary]]:
+    """Sweep several policies and build the comparison table.
+
+    Returns the rendered-ready :class:`Table` plus the raw summaries.
+    """
+    if baseline not in policies:
+        raise ConfigError(f"baseline {baseline!r} not among the policies")
+    summaries: Dict[str, SweepSummary] = {}
+    for name, factory in policies.items():
+        sweep = PolicySweep(name, factory, total_cycles)
+        summaries[name] = sweep.run(workloads)
+
+    base = summaries[baseline]
+    table = Table(
+        title=f"{len(workloads)} workloads, {total_cycles:,} cycles",
+        header=("policy", "mean STP", "mean ANTT", "worst min-NP",
+                f"STP vs {baseline}", f"ANTT vs {baseline}"),
+    )
+    for name, summary in summaries.items():
+        table.add(
+            name,
+            f"{summary.mean_stp:.3f}",
+            f"{summary.mean_antt:.2f}",
+            f"{summary.worst_min_np:.2f}",
+            f"{summary.stp_gain_over(base):+.1%}",
+            f"{summary.antt_gain_over(base):+.1%}",
+        )
+    return table, summaries

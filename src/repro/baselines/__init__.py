@@ -1,0 +1,22 @@
+"""Baseline multitasking policies the paper compares against.
+
+* :class:`~repro.baselines.bp.BPSystem` — balanced partitioning, the
+  MIG-like equal split (plus the BP-BS / BP-SB fixed big/small variants).
+* :class:`~repro.baselines.mps.MPSSystem` — Multi-Process Service: SMs
+  partitioned, memory shared with contention (no isolation, no QoS
+  guarantee).
+* :class:`~repro.baselines.cd_search.CDSearchSystem` — CD-Search combined
+  with BP: SM-only reallocation between isolated instances (Section 6.4).
+"""
+
+from repro.baselines.bp import BPBigSmallSystem, BPSystem, BPSmallBigSystem
+from repro.baselines.mps import MPSSystem
+from repro.baselines.cd_search import CDSearchSystem
+
+__all__ = [
+    "BPSystem",
+    "BPBigSmallSystem",
+    "BPSmallBigSystem",
+    "MPSSystem",
+    "CDSearchSystem",
+]

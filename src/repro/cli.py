@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro catalog                       # print Table 2
+    python -m repro run --mix PVC,DXTC            # one mix, all policies
+    python -m repro run --mix PVC,DXTC --policy ugpu bp
+    python -m repro sweep --policies bp ugpu      # 50 heterogeneous mixes
+    python -m repro qos --target 0.75             # Figure 16 scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Sequence
+
+from repro import (
+    BPBigSmallSystem,
+    BPSmallBigSystem,
+    BPSystem,
+    CDSearchSystem,
+    MPSSystem,
+    MigrationMode,
+    QoSTarget,
+    TABLE2,
+    UGPUSystem,
+    build_mix,
+)
+from repro.workloads import heterogeneous_pairs
+
+POLICIES = {
+    "bp": lambda apps, **kw: BPSystem(apps, **kw),
+    "bp-bs": lambda apps, **kw: BPBigSmallSystem(apps, **kw),
+    "bp-sb": lambda apps, **kw: BPSmallBigSystem(apps, **kw),
+    "mps": lambda apps, **kw: MPSSystem(apps, **kw),
+    "cd-search": lambda apps, **kw: CDSearchSystem(apps, **kw),
+    "ugpu": lambda apps, **kw: UGPUSystem(apps, **kw),
+    "ugpu-offline": lambda apps, **kw: UGPUSystem(apps, offline=True, **kw),
+    "ugpu-soft": lambda apps, **kw: UGPUSystem(
+        apps, mode=MigrationMode.SOFTWARE, **kw
+    ),
+    "ugpu-ori": lambda apps, **kw: UGPUSystem(
+        apps, mode=MigrationMode.TRADITIONAL, **kw
+    ),
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UGPU (ISCA 2025) reproduction: unbalanced GPU slices "
+                    "with PageMove migration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    catalog = sub.add_parser("catalog", help="print the Table 2 benchmark catalog")
+
+    run = sub.add_parser("run", help="run one workload mix under one or "
+                                     "more policies")
+    run.add_argument("--mix", required=True,
+                     help="comma-separated benchmark abbreviations, e.g. PVC,DXTC")
+    run.add_argument("--policy", nargs="+", default=sorted(POLICIES),
+                     choices=sorted(POLICIES), help="policies to compare")
+    run.add_argument("--cycles", type=int, default=25_000_000,
+                     help="simulation horizon in GPU cycles")
+
+    sweep = sub.add_parser("sweep", help="run the 50 heterogeneous mixes")
+    sweep.add_argument("--policies", nargs="+", default=["bp", "ugpu"],
+                       choices=sorted(POLICIES))
+    sweep.add_argument("--cycles", type=int, default=25_000_000)
+
+    qos = sub.add_parser("qos", help="QoS scenario: high-priority "
+                                     "compute-bound app (Figure 16)")
+    qos.add_argument("--mix", default="PVC,DXTC")
+    qos.add_argument("--target", type=float, default=0.75,
+                     help="normalized-progress floor for the second app")
+    qos.add_argument("--cycles", type=int, default=25_000_000)
+
+    export = sub.add_parser("export", help="write a figure's data series "
+                                           "as CSV (for plotting)")
+    export.add_argument("figure", choices=["fig2", "fig3", "fig4"],
+                        help="which paper figure's series to export")
+    export.add_argument("--output", default="-",
+                        help="output path (default: stdout)")
+    return parser
+
+
+def cmd_catalog(_args) -> int:
+    print(f"{'abbr':<8} {'suite':<10} {'MPKI':>8} {'kernels':>8} "
+          f"{'footprint':>10}  class")
+    for spec in TABLE2:
+        cls = "memory" if spec.memory_bound else "compute"
+        print(f"{spec.abbr:<8} {spec.suite:<10} {spec.mpki:>8} "
+              f"{spec.num_kernels:>8} {spec.footprint_mb:>8}MB  {cls}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    abbrs = [a.strip() for a in args.mix.split(",") if a.strip()]
+    print(f"mix: {'_'.join(abbrs)}  horizon: {args.cycles:,} cycles\n")
+    print(f"{'policy':<14} {'STP':>7} {'ANTT':>7} {'min NP':>7}  per-app NP")
+    for name in args.policy:
+        apps = build_mix(abbrs).applications
+        result = POLICIES[name](apps).run(args.cycles)
+        nps = ", ".join(f"{r.name}={r.normalized_progress:.2f}"
+                        for r in result.runs)
+        print(f"{name:<14} {result.stp:>7.3f} {result.antt:>7.2f} "
+              f"{result.min_np:>7.2f}  {nps}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    pairs = heterogeneous_pairs()
+    print(f"sweeping {len(pairs)} heterogeneous mixes, "
+          f"{args.cycles:,} cycles each\n")
+    stats = {}
+    for name in args.policies:
+        stps, antts = [], []
+        for pair in pairs:
+            apps = build_mix(list(pair)).applications
+            result = POLICIES[name](apps).run(args.cycles)
+            stps.append(result.stp)
+            antts.append(result.antt)
+        stats[name] = (stps, antts)
+        print(f"{name:<14} STP mean {statistics.fmean(stps):.3f} "
+              f"(min {min(stps):.3f}, max {max(stps):.3f})   "
+              f"ANTT mean {statistics.fmean(antts):.2f}")
+    if "bp" in stats:
+        base = statistics.fmean(stats["bp"][0])
+        for name, (stps, _) in stats.items():
+            if name != "bp":
+                gain = statistics.fmean(stps) / base - 1
+                print(f"\n{name} vs bp: {gain:+.1%}")
+    return 0
+
+
+def cmd_qos(args) -> int:
+    abbrs = [a.strip() for a in args.mix.split(",")]
+    if len(abbrs) != 2:
+        print("qos expects a two-benchmark mix", file=sys.stderr)
+        return 2
+    target = QoSTarget(app_id=1, target_np=args.target)
+    print(f"high-priority app: {abbrs[1]} (target NP {args.target})\n")
+    rows = [
+        ("MPS", MPSSystem(build_mix(abbrs).applications,
+                          sm_assignment={1: 60, 0: 20})),
+        ("QoS-BP", BPSystem(build_mix([abbrs[1], abbrs[0]]).applications,
+                            qos_big_first=True)),
+        ("UGPU", UGPUSystem(build_mix(abbrs).applications, qos=target)),
+    ]
+    for name, system in rows:
+        result = system.run(args.cycles)
+        hp_name = abbrs[1]
+        hp = next(r for r in result.runs if r.name == hp_name)
+        verdict = "meets" if hp.normalized_progress >= args.target * 0.97 else "VIOLATES"
+        print(f"{name:<8} STP {result.stp:.3f}  high-priority NP "
+              f"{hp.normalized_progress:.3f} ({verdict})")
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Regenerate a motivation figure's series as CSV."""
+    from repro import GPUConfig, PerformanceModel
+    from repro.workloads import build_application
+
+    model = PerformanceModel(GPUConfig())
+    pvc = build_application("PVC").kernels[0]
+    dxtc = build_application("DXTC").kernels[0]
+    rows: List[List] = []
+    if args.figure == "fig2":
+        base = model.throughput(dxtc, 40, 16).ipc
+        rows.append(["series", "x", "normalized_perf"])
+        for m in range(2, 33, 2):
+            rows.append(["vs_channels", m, model.throughput(dxtc, 40, m).ipc / base])
+        for s in range(10, 81, 5):
+            rows.append(["vs_sms", s, model.throughput(dxtc, s, 16).ipc / base])
+    elif args.figure == "fig3":
+        base = model.throughput(pvc, 40, 16).ipc
+        rows.append(["series", "x", "normalized_perf"])
+        for m in range(2, 33, 2):
+            rows.append(["vs_channels", m, model.throughput(pvc, 40, m).ipc / base])
+        for s in range(8, 81, 4):
+            rows.append(["vs_sms", s, model.throughput(pvc, s, 16).ipc / base])
+    else:  # fig4
+        alone_p = model.throughput(pvc, 80, 32).ipc
+        alone_d = model.throughput(dxtc, 80, 32).ipc
+        rows.append(["pvc_sms", "pvc_channels", "stp"])
+        for sms in range(4, 77, 4):
+            for mcs in range(4, 29, 4):
+                stp = (model.throughput(pvc, sms, mcs).ipc / alone_p
+                       + model.throughput(dxtc, 80 - sms, 32 - mcs).ipc / alone_d)
+                rows.append([sms, mcs, round(stp, 4)])
+
+    text = "\n".join(",".join(str(c) for c in row) for row in rows) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(rows) - 1} rows to {args.output}")
+    return 0
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = _parser().parse_args(argv)
+    handlers = {
+        "catalog": cmd_catalog,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "qos": cmd_qos,
+        "export": cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

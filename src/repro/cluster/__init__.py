@@ -1,0 +1,25 @@
+"""Multi-GPU cluster extension (paper Section 6.6, closing discussion).
+
+"UGPU can be utilized in multi-GPU systems to partition each GPU into
+unbalanced slices, improving resource utilization ... idle resources can
+then be allocated to other tasks launched by different users, thus
+enhancing the utilization of cloud GPU clusters."
+
+This subpackage builds that scenario: a :class:`~repro.cluster.node.GPUNode`
+wraps one physical GPU running a slicing policy, and the
+:class:`~repro.cluster.scheduler.ClusterScheduler` places tenant jobs
+across nodes — either naively (first-fit) or demand-aware (pairing
+memory-bound with compute-bound tenants so every node has reallocation
+room).
+"""
+
+from repro.cluster.node import GPUNode, NodeResult
+from repro.cluster.scheduler import ClusterResult, ClusterScheduler, PlacementPolicy
+
+__all__ = [
+    "GPUNode",
+    "NodeResult",
+    "ClusterScheduler",
+    "ClusterResult",
+    "PlacementPolicy",
+]

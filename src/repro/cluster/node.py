@@ -1,0 +1,82 @@
+"""One physical GPU in a cluster, running a slicing policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Type
+
+from repro.baselines.bp import BPSystem
+from repro.core.system import MultitaskSystem, SystemResult
+from repro.core.ugpu import UGPUSystem
+from repro.errors import AllocationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Application
+
+
+@dataclass
+class NodeResult:
+    """Outcome of one node's multiprogram run."""
+
+    node_id: int
+    result: Optional[SystemResult]   #: None for an idle node
+    tenants: List[str]
+
+    @property
+    def stp(self) -> float:
+        return self.result.stp if self.result is not None else 0.0
+
+
+class GPUNode:
+    """One GPU plus the tenant applications placed on it.
+
+    The node enforces a tenant cap (the slicing policies need a minimum
+    slice per tenant: 80 SMs / 32 channels support at most 8 tenants at
+    the 4-SM / 4-channel floors, and the paper's channel-status register
+    tracks 4).
+    """
+
+    def __init__(self, node_id: int, config: GPUConfig = GPUConfig(),
+                 max_tenants: int = 4) -> None:
+        if max_tenants <= 0:
+            raise AllocationError("max_tenants must be positive")
+        config.validate()
+        self.node_id = node_id
+        self.config = config
+        self.max_tenants = max_tenants
+        self.tenants: List[Application] = []
+
+    @property
+    def free_slots(self) -> int:
+        return self.max_tenants - len(self.tenants)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tenants
+
+    def place(self, app: Application) -> None:
+        """Admit a tenant; raises when the node is full."""
+        if self.free_slots <= 0:
+            raise AllocationError(
+                f"node {self.node_id} is full ({self.max_tenants} tenants)"
+            )
+        self.tenants.append(app)
+
+    def run(self, policy: Type[MultitaskSystem] = UGPUSystem,
+            total_cycles: int = 25_000_000) -> NodeResult:
+        """Run the placed tenants under ``policy`` (UGPU by default).
+
+        A single-tenant node runs that tenant on the whole GPU (its NP is
+        1.0 by construction); an idle node contributes nothing.
+        """
+        names = [t.name for t in self.tenants]
+        if not self.tenants:
+            return NodeResult(self.node_id, None, [])
+        apps = [t.clone(app_id=i) for i, t in enumerate(self.tenants)]
+        if len(apps) == 1:
+            # Whole-GPU run: every policy degenerates to the same thing,
+            # so use the overhead-free static system.
+            system = BPSystem(apps)
+        else:
+            system = policy(apps)
+        result = system.run(total_cycles, mix_name="_".join(names))
+        return NodeResult(self.node_id, result, names)

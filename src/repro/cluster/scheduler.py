@@ -1,0 +1,150 @@
+"""Cluster-level tenant placement.
+
+Two placement policies:
+
+* ``FIRST_FIT`` — tenants land on the first node with a free slot, the
+  default behaviour of a class-blind scheduler.
+* ``DEMAND_AWARE`` — tenants are paired so every node mixes memory-bound
+  and compute-bound applications, maximizing each node's UGPU
+  reallocation room (the paper's cloud-utilization argument: a node full
+  of same-class tenants has nothing to trade).
+
+The scheduler then runs every node under the chosen slicing policy and
+aggregates cluster throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Type
+
+from repro.cluster.node import GPUNode, NodeResult
+from repro.core.system import MultitaskSystem
+from repro.core.ugpu import UGPUSystem
+from repro.errors import AllocationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Application
+from repro.gpu.performance import PerformanceModel
+
+
+class PlacementPolicy(enum.Enum):
+    """How tenants are assigned to nodes."""
+
+    FIRST_FIT = "first_fit"
+    DEMAND_AWARE = "demand_aware"
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate outcome of a cluster run."""
+
+    nodes: List[NodeResult]
+    placement: PlacementPolicy
+
+    @property
+    def cluster_stp(self) -> float:
+        """Sum of per-node STP: total normalized work the cluster does."""
+        return sum(node.stp for node in self.nodes)
+
+    @property
+    def busy_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.result is not None)
+
+    def per_node_summary(self) -> List[tuple]:
+        return [
+            (node.node_id, "+".join(node.tenants) or "(idle)",
+             round(node.stp, 3))
+            for node in self.nodes
+        ]
+
+
+class ClusterScheduler:
+    """Place tenant jobs on a pool of GPU nodes and run them."""
+
+    def __init__(self, num_nodes: int, config: GPUConfig = GPUConfig(),
+                 tenants_per_node: int = 2) -> None:
+        if num_nodes <= 0:
+            raise AllocationError("need at least one node")
+        self.config = config
+        self.nodes = [
+            GPUNode(i, config, max_tenants=tenants_per_node)
+            for i in range(num_nodes)
+        ]
+        self.perf = PerformanceModel(config)
+
+    @property
+    def capacity(self) -> int:
+        return sum(node.max_tenants for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _is_memory_bound(self, app: Application) -> bool:
+        """Classify from the app's first kernel at the even two-way split
+        (the same Equation 1/2 boundary UGPU's profiler uses)."""
+        throughput = self.perf.throughput(
+            app.kernels[0], self.config.num_sms // 2, self.config.num_channels // 2
+        )
+        return throughput.demand_supply_ratio >= 1.0
+
+    def place(self, jobs: Sequence[Application],
+              policy: PlacementPolicy = PlacementPolicy.DEMAND_AWARE) -> None:
+        """Assign all jobs to nodes; raises if the cluster is full."""
+        if len(jobs) > self.capacity:
+            raise AllocationError(
+                f"{len(jobs)} jobs exceed cluster capacity {self.capacity}"
+            )
+        if policy is PlacementPolicy.FIRST_FIT:
+            # Class-blind: spread tenants breadth-first for load fairness.
+            for job in jobs:
+                self._emptiest_node().place(job)
+            return
+        # Demand-aware: interleave the two classes and fill each node
+        # completely before the next, so every node receives a
+        # complementary memory-bound/compute-bound group.
+        memory = [j for j in jobs if self._is_memory_bound(j)]
+        compute = [j for j in jobs if not self._is_memory_bound(j)]
+        ordered = []
+        while memory or compute:
+            if memory:
+                ordered.append(memory.pop(0))
+            if compute:
+                ordered.append(compute.pop(0))
+        for job in ordered:
+            self._first_open_node().place(job)
+
+    def _emptiest_node(self) -> GPUNode:
+        target = min(self.nodes, key=lambda n: (len(n.tenants), n.node_id))
+        if target.free_slots <= 0:
+            raise AllocationError("cluster is full")  # pragma: no cover
+        return target
+
+    def _first_open_node(self) -> GPUNode:
+        for node in self.nodes:
+            if node.free_slots > 0:
+                return node
+        raise AllocationError("cluster is full")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, slicing_policy: Type[MultitaskSystem] = UGPUSystem,
+            total_cycles: int = 25_000_000,
+            placement: PlacementPolicy = PlacementPolicy.DEMAND_AWARE,
+            ) -> ClusterResult:
+        results = [
+            node.run(slicing_policy, total_cycles) for node in self.nodes
+        ]
+        return ClusterResult(nodes=results, placement=placement)
+
+    def schedule_and_run(
+        self,
+        jobs: Sequence[Application],
+        placement: PlacementPolicy = PlacementPolicy.DEMAND_AWARE,
+        slicing_policy: Type[MultitaskSystem] = UGPUSystem,
+        total_cycles: int = 25_000_000,
+    ) -> ClusterResult:
+        """Convenience: place, run, aggregate."""
+        self.place(jobs, placement)
+        return self.run(slicing_policy, total_cycles, placement)

@@ -1,0 +1,191 @@
+"""The demand-aware resource distribution algorithm (paper Figure 5).
+
+Starting from the current partition, each iteration:
+
+(a) computes every application's degree of bandwidth demand (Equation 1
+    demand over Equation 2 supply at its current allocation) and
+    classifies it compute-bound (ratio < 1) or memory-bound (ratio >= 1);
+(b) picks the *most* compute-bound application and gives it SMs while
+    taking memory channels away, and picks the *most* memory-bound
+    application and gives it channels while taking SMs away;
+(c) stops when no resources can move — every transfer is guarded so the
+    donor keeps meeting its own demand (a compute-bound app never gives
+    away a channel it needs; a memory-bound app never gives away an SM it
+    needs to saturate its channels).
+
+No performance model is consulted: the algorithm only compares profiled
+demand against supply, exactly the paper's "TaoTe Ching" redistribution.
+An application whose working set exceeds its allocated memory capacity is
+forced into the memory-bound class (Section 3.2's capacity extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.profiler import AppProfile
+from repro.core.slices import PartitionState, ResourceAllocation
+from repro.errors import AllocationError, ConfigError
+
+
+@dataclass
+class PartitionDecision:
+    """Result of one run of the distribution algorithm."""
+
+    allocations: Dict[int, ResourceAllocation]
+    iterations: int
+    moves: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Latency of the fixed-function hardware run, in GPU cycles.
+    latency_cycles: int = 0
+
+    def changed_from(self, previous: Mapping[int, ResourceAllocation]) -> bool:
+        return dict(previous) != self.allocations
+
+
+class DemandAwarePartitioner:
+    """Iterative SM/channel redistribution driven by profiled demand."""
+
+    def __init__(
+        self,
+        state: PartitionState,
+        sm_step: int = 4,
+        mc_step: Optional[int] = None,
+        max_iterations: int = 20,
+        memory_capacity_bytes: Optional[int] = None,
+        gpu_config=None,
+    ) -> None:
+        """``gpu_config`` (a :class:`repro.gpu.config.GPUConfig`) supplies
+        the hardware MLP constants for the SM-donation guard: a
+        memory-bound donor keeps enough SMs that its achievable bandwidth
+        (the MLP draw ceiling) still covers its supplied bandwidth — the
+        paper's "as long as the SMs can fully utilize the memory
+        bandwidth, its performance keeps unchanged even if the SM count
+        decreases".  Pass None to disable the utilization guard (ablation).
+        """
+        if sm_step <= 0:
+            raise ConfigError("sm_step must be positive")
+        self.state = state
+        self.sm_step = sm_step
+        self.mc_step = mc_step if mc_step is not None else state.channel_group
+        if self.mc_step % state.channel_group != 0:
+            raise ConfigError(
+                "mc_step must be a multiple of the channel group so every "
+                "slice keeps one channel per stack"
+            )
+        if max_iterations <= 0:
+            raise ConfigError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+        #: Total GPU memory, for the capacity-pressure classification.
+        self.memory_capacity_bytes = memory_capacity_bytes
+        self.gpu_config = gpu_config
+
+    # ------------------------------------------------------------------
+    # Classification (part a)
+    # ------------------------------------------------------------------
+    def demand_ratio(self, profile: AppProfile,
+                     allocation: ResourceAllocation) -> float:
+        """Degree of bandwidth demand at an allocation; the capacity
+        extension pushes over-committed apps into the memory-bound class."""
+        ratio = profile.demand_supply_ratio(allocation.sms, allocation.channels)
+        if self._capacity_pressure(profile, allocation):
+            return max(ratio, 1.0 + 1e-6)
+        return ratio
+
+    def _capacity_pressure(self, profile: AppProfile,
+                           allocation: ResourceAllocation) -> bool:
+        if self.memory_capacity_bytes is None or profile.footprint_bytes <= 0:
+            return False
+        per_channel = self.memory_capacity_bytes / self.state.total_channels
+        return profile.footprint_bytes > allocation.channels * per_channel
+
+    # ------------------------------------------------------------------
+    # The algorithm (parts a-c of Figure 5)
+    # ------------------------------------------------------------------
+    def compute(self, profiles: Mapping[int, AppProfile]) -> PartitionDecision:
+        """Run the redistribution loop; returns the new partition."""
+        if not profiles:
+            raise AllocationError("no applications to partition")
+        allocations = self.state.allocations()
+        missing = set(profiles) - set(allocations)
+        if missing:
+            raise AllocationError(f"apps {sorted(missing)} have no slice")
+
+        moves: List[Tuple[str, int, int]] = []
+        iterations = 0
+        for _ in range(self.max_iterations):
+            ratios = {
+                app_id: self.demand_ratio(profiles[app_id], allocations[app_id])
+                for app_id in profiles
+            }
+            compute_bound = [a for a, r in ratios.items() if r < 1.0]
+            memory_bound = [a for a, r in ratios.items() if r >= 1.0]
+            if not compute_bound or not memory_bound:
+                break
+            cb = min(compute_bound, key=lambda a: ratios[a])   # most compute-bound
+            mb = max(memory_bound, key=lambda a: ratios[a])    # most memory-bound
+
+            moved_sm = self._try_move_sms(profiles, allocations, src=mb, dst=cb)
+            moved_mc = self._try_move_channels(profiles, allocations, src=cb, dst=mb)
+            iterations += 1
+            if moved_sm:
+                moves.append(("sm", mb, cb))
+            if moved_mc:
+                moves.append(("mc", cb, mb))
+            if not moved_sm and not moved_mc:
+                break
+
+        return PartitionDecision(
+            allocations=allocations, iterations=iterations, moves=moves
+        )
+
+    # ------------------------------------------------------------------
+    # Guarded transfers (part b)
+    # ------------------------------------------------------------------
+    def _try_move_sms(self, profiles, allocations, src: int, dst: int) -> bool:
+        """Move ``sm_step`` SMs from the memory-bound donor to the
+        compute-bound receiver, if the donor can still saturate its
+        channels afterwards."""
+        donor = allocations[src]
+        new_donor_sms = donor.sms - self.sm_step
+        if new_donor_sms < self.state.min_sms:
+            return False
+        profile = profiles[src]
+        supply = profile.supply(donor.channels)
+        # The donor must stay memory-bound: remaining SMs still demand at
+        # least the supplied bandwidth.
+        if profile.demand(new_donor_sms) < supply:
+            return False
+        # ...and must still be able to *draw* that bandwidth: the MLP
+        # ceiling of the remaining SMs has to cover the supply, or
+        # removing the SM would cost performance (Section 3.1's key
+        # message for memory-bound applications).
+        if self.gpu_config is not None:
+            draw = self.gpu_config.draw_bytes_per_cycle(
+                new_donor_sms, donor.channels, profile.llc_hit_rate
+            )
+            if draw < supply:
+                return False
+        allocations[src] = donor.move(d_sms=-self.sm_step)
+        allocations[dst] = allocations[dst].move(d_sms=self.sm_step)
+        return True
+
+    def _try_move_channels(self, profiles, allocations, src: int, dst: int) -> bool:
+        """Move ``mc_step`` channels from the compute-bound donor to the
+        memory-bound receiver, if the donor's demand stays satisfied."""
+        donor = allocations[src]
+        new_donor_channels = donor.channels - self.mc_step
+        if new_donor_channels < self.state.min_channels:
+            return False
+        profile = profiles[src]
+        # The donor must stay compute-bound with the reduced channels
+        # (its SM count may have just grown, so use the updated value).
+        if profile.demand(allocations[src].sms) > profile.supply(new_donor_channels):
+            return False
+        if self._capacity_pressure(
+            profile, ResourceAllocation(donor.sms, new_donor_channels)
+        ):
+            return False
+        allocations[src] = allocations[src].move(d_channels=-self.mc_step)
+        allocations[dst] = allocations[dst].move(d_channels=self.mc_step)
+        return True

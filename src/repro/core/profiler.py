@@ -1,0 +1,165 @@
+"""Epoch profiler: the online counter pipeline of Section 3.3.
+
+Per application, a :class:`~repro.gpu.counters.CounterBank` accumulates
+instruction, LLC and DRAM events during an epoch; at the boundary the
+profiler converts the snapshot into an :class:`AppProfile` carrying
+exactly the quantities Equations 1-2 need: APKI, LLC hit rate and achieved
+memory bandwidth.  Profiling is off the execution critical path, so it
+adds no latency to the epoch itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import CounterBank, CounterSnapshot
+from repro.gpu.performance import SliceThroughput
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """What the hardware learned about one application this epoch.
+
+    ``bw_demand_per_sm`` is Equation 1 (bytes per cycle one stall-free SM
+    would consume); ``bw_supply_per_mc`` is Equation 2 (bytes per cycle
+    one memory channel plus its LLC slices can supply to this app).
+    """
+
+    app_id: int
+    ipc_max_per_sm: float
+    apki_llc: float
+    llc_hit_rate: float
+    bw_demand_per_sm: float
+    bw_supply_per_mc: float
+    footprint_bytes: int = 0
+
+    def demand(self, sms: int) -> float:
+        """Total bandwidth demand of a slice with ``sms`` SMs."""
+        return self.bw_demand_per_sm * sms
+
+    def supply(self, channels: int) -> float:
+        """Total bandwidth supply of ``channels`` memory channels."""
+        return self.bw_supply_per_mc * channels
+
+    def demand_supply_ratio(self, sms: int, channels: int) -> float:
+        """> 1 means the allocation leaves the app memory-bound."""
+        supply = self.supply(channels)
+        if supply <= 0:
+            return float("inf") if self.demand(sms) > 0 else 0.0
+        return self.demand(sms) / supply
+
+
+class EpochProfiler:
+    """Per-application hardware counters plus the Equation 1-2 math."""
+
+    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+        config.validate()
+        self.config = config
+        self._banks: Dict[int, CounterBank] = {}
+        self._ipc_max: Dict[int, float] = {}
+        self._footprints: Dict[int, int] = {}
+
+    def track(self, app_id: int, ipc_max_per_sm: float,
+              footprint_bytes: int = 0) -> None:
+        """Start profiling an application.
+
+        ``ipc_max_per_sm`` comes from the SM's existing issue-slot
+        counters (the stall-free issue rate); the LLC/DRAM counters are
+        the new 16-bit ones.
+        """
+        if ipc_max_per_sm <= 0:
+            raise ConfigError("ipc_max_per_sm must be positive")
+        self._banks[app_id] = CounterBank()
+        self._ipc_max[app_id] = ipc_max_per_sm
+        self._footprints[app_id] = footprint_bytes
+
+    def bank(self, app_id: int) -> CounterBank:
+        try:
+            return self._banks[app_id]
+        except KeyError:
+            raise ConfigError(f"app {app_id} is not tracked") from None
+
+    def observe_epoch(self, app_id: int, throughput: SliceThroughput,
+                      effective_cycles: float) -> None:
+        """Feed an epoch's activity into the counters.
+
+        In hardware the counters increment per event; here the epoch model
+        computes the aggregate event counts the throughput implies.
+        """
+        if effective_cycles < 0:
+            raise ConfigError("effective_cycles must be non-negative")
+        bank = self.bank(app_id)
+        instructions = int(throughput.ipc * effective_cycles)
+        # Recover the kernel's APKI from the throughput record: Equation 1
+        # demand = sms * ipc_max * APKI/1000 * line and compute_roof =
+        # sms * ipc_max, so demand/compute_roof = APKI/1000 * line.
+        apki = (
+            throughput.demand_bytes_per_cycle
+            / max(1e-12, throughput.compute_roof)
+            / self.config.llc_line_bytes
+            * 1000.0
+        )
+        accesses = int(instructions * apki / 1000.0)
+        hits = int(accesses * throughput.llc_hit_rate)
+        bank.count_instructions(instructions)
+        bank.count_llc_access(accesses - hits, hit=False)
+        bank.count_llc_access(hits, hit=True)
+        bank.count_dram_bytes(int(throughput.dram_bytes_per_cycle * effective_cycles))
+
+    # ------------------------------------------------------------------
+    # Equation 1 and 2
+    # ------------------------------------------------------------------
+    def bw_demand_per_sm(self, ipc_max_per_sm: float, apki_llc: float) -> float:
+        """Equation 1, in bytes per GPU cycle per SM."""
+        return ipc_max_per_sm * (apki_llc / 1000.0) * self.config.llc_line_bytes
+
+    def bw_supply_per_mc(self, llc_hit_rate: float) -> float:
+        """Equation 2, in bytes per GPU cycle per channel."""
+        cfg = self.config
+        llc_bw = (
+            cfg.llc_slices_per_channel * cfg.llc_slice_bandwidth_bytes_per_cycle()
+        )
+        mem_bw = cfg.channel_bandwidth_bytes_per_cycle()
+        miss = 1.0 - llc_hit_rate
+        hit_part = llc_hit_rate * llc_bw
+        miss_part = min(miss * llc_bw, mem_bw)
+        return hit_part + miss_part
+
+    def profile(self, app_id: int) -> AppProfile:
+        """Epoch-boundary read: snapshot the counters and derive the
+        Equation 1-2 quantities."""
+        snapshot = self.bank(app_id).snapshot()
+        ipc_max = self._ipc_max[app_id]
+        apki = snapshot.apki_llc
+        hit = snapshot.llc_hit_rate
+        return AppProfile(
+            app_id=app_id,
+            ipc_max_per_sm=ipc_max,
+            apki_llc=apki,
+            llc_hit_rate=hit,
+            bw_demand_per_sm=self.bw_demand_per_sm(ipc_max, apki),
+            bw_supply_per_mc=self.bw_supply_per_mc(hit),
+            footprint_bytes=self._footprints.get(app_id, 0),
+        )
+
+    def profile_from_snapshot(self, app_id: int, snapshot: CounterSnapshot,
+                              ipc_max_per_sm: Optional[float] = None) -> AppProfile:
+        """Build a profile from an externally captured snapshot (offline
+        mode / tests)."""
+        ipc_max = (
+            ipc_max_per_sm
+            if ipc_max_per_sm is not None
+            else self._ipc_max.get(app_id, 64.0)
+        )
+        return AppProfile(
+            app_id=app_id,
+            ipc_max_per_sm=ipc_max,
+            apki_llc=snapshot.apki_llc,
+            llc_hit_rate=snapshot.llc_hit_rate,
+            bw_demand_per_sm=self.bw_demand_per_sm(ipc_max, snapshot.apki_llc),
+            bw_supply_per_mc=self.bw_supply_per_mc(snapshot.llc_hit_rate),
+            footprint_bytes=self._footprints.get(app_id, 0),
+        )

@@ -1,0 +1,74 @@
+"""QoS support (paper Section 6.7).
+
+A :class:`QoSTarget` names a high-priority application and a normalized
+progress (NP) floor — the paper uses 0.75.  Because UGPU slices are fully
+isolated, QoS enforcement is purely a partitioning constraint: the
+high-priority slice must be large enough that its estimated NP clears the
+target; the partitioner then maximizes throughput with the remaining
+resources.
+
+The NP estimate uses only profiled quantities (Equations 1-2 plus the MLP
+ceiling), never a full performance model, keeping the paper's
+"no complex model" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import AppProfile
+from repro.core.slices import ResourceAllocation
+from repro.errors import QoSError
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """NP floor for one high-priority application."""
+
+    app_id: int
+    target_np: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_np <= 1.0:
+            raise QoSError(
+                f"target NP must be in (0, 1], got {self.target_np}"
+            )
+
+
+def estimated_ipc(profile: AppProfile, allocation: ResourceAllocation,
+                  config: GPUConfig) -> float:
+    """Counter-based IPC estimate of an application on a slice.
+
+    min(compute roofline, bandwidth roofline, MLP roofline), all computed
+    from the profile's Equation 1-2 quantities — the same arithmetic the
+    fixed-function unit already performs.
+    """
+    bytes_per_instr = (profile.apki_llc / 1000.0) * config.llc_line_bytes
+    compute = allocation.sms * profile.ipc_max_per_sm
+    if bytes_per_instr <= 0:
+        return compute
+    bandwidth = profile.supply(allocation.channels) / bytes_per_instr
+    draw = config.draw_bytes_per_cycle(
+        allocation.sms, allocation.channels, profile.llc_hit_rate
+    )
+    return min(compute, bandwidth, draw / bytes_per_instr)
+
+
+def estimated_np(profile: AppProfile, allocation: ResourceAllocation,
+                 config: GPUConfig) -> float:
+    """Estimated normalized progress relative to the whole GPU."""
+    alone = estimated_ipc(
+        profile,
+        ResourceAllocation(config.num_sms, config.num_channels),
+        config,
+    )
+    if alone <= 0:
+        return 0.0
+    return estimated_ipc(profile, allocation, config) / alone
+
+
+def meets_target(profile: AppProfile, allocation: ResourceAllocation,
+                 config: GPUConfig, target: QoSTarget) -> bool:
+    """Does the slice clear the QoS floor?"""
+    return estimated_np(profile, allocation, config) >= target.target_np

@@ -1,0 +1,182 @@
+"""GPU slices: dedicated, possibly unbalanced, resource allocations.
+
+A :class:`ResourceAllocation` is the (SMs, memory channels) pair a slice
+owns; :class:`PartitionState` tracks all co-executing slices and enforces
+the physical budget (80 SMs, 32 channels in Table 1).  Memory channels
+move in groups of ``num_stacks`` — one channel per HBM stack — so the
+Figure 8 address mapping's "at least one channel per stack" invariant
+always holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """SM and memory channel counts of one slice."""
+
+    sms: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        if self.sms < 0 or self.channels < 0:
+            raise AllocationError(
+                f"allocation cannot be negative: {self.sms} SMs, "
+                f"{self.channels} channels"
+            )
+
+    def move(self, d_sms: int = 0, d_channels: int = 0) -> "ResourceAllocation":
+        """A new allocation shifted by the given deltas."""
+        return ResourceAllocation(self.sms + d_sms, self.channels + d_channels)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.sms}SM/{self.channels}MC"
+
+
+@dataclass(frozen=True)
+class GPUSlice:
+    """A virtualized GPU slice bound to one application."""
+
+    app_id: int
+    allocation: ResourceAllocation
+
+    @property
+    def balanced(self) -> bool:
+        """True when SM and channel shares are equal (2.5 SMs per channel
+        is the baseline 80/32 proportion)."""
+        return self.allocation.sms * 32 == self.allocation.channels * 80
+
+
+class PartitionState:
+    """The current partition of the physical GPU into slices."""
+
+    def __init__(
+        self,
+        total_sms: int = 80,
+        total_channels: int = 32,
+        channel_group: int = 4,
+        min_sms: int = 4,
+        min_channels: int = 4,
+    ) -> None:
+        if total_sms <= 0 or total_channels <= 0:
+            raise AllocationError("totals must be positive")
+        if channel_group <= 0 or total_channels % channel_group != 0:
+            raise AllocationError(
+                f"total_channels {total_channels} not divisible by channel "
+                f"group {channel_group}"
+            )
+        if min_channels % channel_group != 0:
+            raise AllocationError(
+                "min_channels must be a multiple of the channel group"
+            )
+        self.total_sms = total_sms
+        self.total_channels = total_channels
+        self.channel_group = channel_group
+        self.min_sms = min_sms
+        self.min_channels = min_channels
+        self._allocations: Dict[int, ResourceAllocation] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def even(cls, app_ids: Iterable[int], **kwargs) -> "PartitionState":
+        """Balanced partition: resources split equally (the BP baseline)."""
+        state = cls(**kwargs)
+        ids = list(app_ids)
+        if not ids:
+            raise AllocationError("need at least one application")
+        sms = state.total_sms // len(ids)
+        channels = state.total_channels // len(ids)
+        channels -= channels % state.channel_group
+        if sms < state.min_sms or channels < state.min_channels:
+            raise AllocationError(
+                f"{len(ids)} applications cannot each receive the minimum "
+                f"allocation"
+            )
+        for app_id in ids:
+            state.assign(app_id, ResourceAllocation(sms, channels))
+        return state
+
+    def assign(self, app_id: int, allocation: ResourceAllocation) -> None:
+        """Set one slice's allocation, validating the global budget."""
+        self._validate(allocation)
+        proposed = dict(self._allocations)
+        proposed[app_id] = allocation
+        self._check_budget(proposed)
+        self._allocations = proposed
+
+    def assign_all(self, allocations: Mapping[int, ResourceAllocation]) -> None:
+        """Replace the whole partition atomically."""
+        for allocation in allocations.values():
+            self._validate(allocation)
+        self._check_budget(dict(allocations))
+        self._allocations = dict(allocations)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def allocation(self, app_id: int) -> ResourceAllocation:
+        try:
+            return self._allocations[app_id]
+        except KeyError:
+            raise AllocationError(f"app {app_id} has no slice") from None
+
+    def allocations(self) -> Dict[int, ResourceAllocation]:
+        return dict(self._allocations)
+
+    def slices(self) -> Dict[int, GPUSlice]:
+        return {
+            app_id: GPUSlice(app_id, alloc)
+            for app_id, alloc in self._allocations.items()
+        }
+
+    @property
+    def used_sms(self) -> int:
+        return sum(a.sms for a in self._allocations.values())
+
+    @property
+    def used_channels(self) -> int:
+        return sum(a.channels for a in self._allocations.values())
+
+    @property
+    def free_sms(self) -> int:
+        return self.total_sms - self.used_sms
+
+    @property
+    def free_channels(self) -> int:
+        return self.total_channels - self.used_channels
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, allocation: ResourceAllocation) -> None:
+        if allocation.sms < self.min_sms:
+            raise AllocationError(
+                f"slice needs at least {self.min_sms} SMs, got {allocation.sms}"
+            )
+        if allocation.channels < self.min_channels:
+            raise AllocationError(
+                f"slice needs at least {self.min_channels} channels, got "
+                f"{allocation.channels}"
+            )
+        if allocation.channels % self.channel_group != 0:
+            raise AllocationError(
+                f"channel count {allocation.channels} not a multiple of the "
+                f"channel group {self.channel_group} (one channel per stack)"
+            )
+
+    def _check_budget(self, allocations: Dict[int, ResourceAllocation]) -> None:
+        sms = sum(a.sms for a in allocations.values())
+        channels = sum(a.channels for a in allocations.values())
+        if sms > self.total_sms:
+            raise AllocationError(f"{sms} SMs exceed the {self.total_sms} budget")
+        if channels > self.total_channels:
+            raise AllocationError(
+                f"{channels} channels exceed the {self.total_channels} budget"
+            )

@@ -1,0 +1,322 @@
+"""Epoch-level multitasking system simulation.
+
+:class:`MultitaskSystem` is the shared runner: it advances co-executing
+applications epoch by epoch, evaluating each on its slice with the
+two-roofline performance model, charging any pending reallocation
+penalties, and collecting STP/ANTT/energy at the end.  Policies (UGPU, BP
+variants, MPS, CD-Search) subclass it and override two hooks:
+
+* :meth:`throughput_for` — how an application performs on its resources
+  (MPS overrides this to model shared-memory contention);
+* :meth:`at_epoch_end` — what happens at the profiling boundary (UGPU and
+  CD-Search repartition here; static baselines do nothing).
+
+Reallocation penalties are expressed as (window_cycles, slowdown_factor)
+charges: during the window the application loses ``factor`` of its
+throughput.  This matches the paper's behaviour where applications keep
+executing while SMs drain/switch and pages migrate (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.slices import PartitionState, ResourceAllocation
+from repro.errors import ConfigError, SimulationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Application
+from repro.gpu.performance import PerformanceModel, SliceThroughput
+from repro.metrics.energy import EnergyBreakdown, EnergyModel
+from repro.metrics.multiprogram import AppRun, antt, stp
+from repro.sim.epoch import EpochResult, EpochRunner
+from repro.vm.oversubscription import FaultOverheadModel
+
+
+@dataclass
+class PenaltyCharge:
+    """A pending throughput loss: ``factor`` of IPC lost for ``window``
+    cycles of the next epoch(s).
+
+    ``counts_as_migration`` marks windows reported in Figure 12a's
+    per-epoch reallocation occupancy (SM handover plus eager page moves);
+    background/lazy trickle windows are excluded there.
+    """
+
+    window_cycles: float
+    factor: float
+    counts_as_migration: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_cycles < 0 or not 0.0 <= self.factor <= 1.0:
+            raise ConfigError(
+                f"invalid penalty: window={self.window_cycles}, factor={self.factor}"
+            )
+
+    @property
+    def lost_cycles(self) -> float:
+        return self.window_cycles * self.factor
+
+
+@dataclass
+class AppState:
+    """Simulation state of one co-executing application."""
+
+    app: Application
+    allocation: ResourceAllocation
+    instructions: int = 0
+    dram_bytes: float = 0.0
+    penalties: List[PenaltyCharge] = field(default_factory=list)
+    migrated_bytes: float = 0.0
+
+    @property
+    def app_id(self) -> int:
+        return self.app.app_id
+
+
+@dataclass
+class SystemResult:
+    """Outcome of a multiprogram simulation."""
+
+    policy: str
+    mix_name: str
+    runs: List[AppRun]
+    epochs: List[EpochResult]
+    total_cycles: int
+    energy: Optional[EnergyBreakdown] = None
+    repartitions: int = 0
+
+    @property
+    def stp(self) -> float:
+        return stp(self.runs)
+
+    @property
+    def antt(self) -> float:
+        return antt(self.runs)
+
+    @property
+    def min_np(self) -> float:
+        return min(run.normalized_progress for run in self.runs)
+
+    def migration_fractions(self) -> List[float]:
+        return [e.migration_fraction for e in self.epochs]
+
+
+class MultitaskSystem:
+    """Base epoch-level runner; see module docstring for the hooks."""
+
+    policy_name = "base"
+
+    def __init__(
+        self,
+        applications: Sequence[Application],
+        config: GPUConfig = GPUConfig(),
+        epoch_cycles: int = 5_000_000,
+        energy_model: Optional[EnergyModel] = None,
+        total_memory_bytes: Optional[int] = None,
+    ) -> None:
+        """``total_memory_bytes`` enables memory-oversubscription modelling
+        (paper Sections 3.2 and 5): each slice's capacity is proportional
+        to its channel share, and applications whose footprint exceeds it
+        pay far-fault overhead via
+        :class:`repro.vm.oversubscription.FaultOverheadModel`."""
+        if not applications:
+            raise ConfigError("need at least one application")
+        config.validate()
+        self.config = config
+        self.perf = PerformanceModel(config)
+        self.epoch_cycles = epoch_cycles
+        self.energy_model = energy_model
+        self.total_memory_bytes = total_memory_bytes
+        self.fault_model = (
+            FaultOverheadModel(config) if total_memory_bytes is not None else None
+        )
+        self.partition = self.initial_partition(applications)
+        self.apps: Dict[int, AppState] = {}
+        for app in applications:
+            self.apps[app.app_id] = AppState(
+                app=app, allocation=self.partition.allocation(app.app_id)
+            )
+        self.repartitions = 0
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
+        """Default: the balanced partition (BP)."""
+        return PartitionState.even(
+            [a.app_id for a in applications],
+            total_sms=self.config.num_sms,
+            total_channels=self.config.num_channels,
+        )
+
+    def throughput_for(self, state: AppState) -> SliceThroughput:
+        """Evaluate the app's current kernel on its isolated slice."""
+        return self.perf.throughput(
+            state.app.current_kernel,
+            state.allocation.sms,
+            state.allocation.channels,
+        )
+
+    def at_epoch_end(self, epoch_index: int, span: int) -> None:
+        """Policy hook: static baselines do nothing."""
+
+    def capacity_factor(self, state: AppState, throughput: SliceThroughput) -> float:
+        """Far-fault throughput factor when oversubscription is modelled."""
+        if self.fault_model is None:
+            return 1.0
+        capacity = self.fault_model.capacity_for_channels(
+            state.allocation.channels, self.total_memory_bytes
+        )
+        charge = self.fault_model.charge(
+            state.app.footprint_bytes, capacity, throughput.dram_bytes_per_cycle
+        )
+        return charge.throughput_factor
+
+    # ------------------------------------------------------------------
+    # Epoch step
+    # ------------------------------------------------------------------
+    def _step(self, epoch_index: int, span: int) -> EpochResult:
+        instructions: Dict[int, int] = {}
+        migration_cycles = 0.0
+        for state in self.apps.values():
+            throughput = self.throughput_for(state)
+            lost = 0.0
+            consumed: List[PenaltyCharge] = []
+            for charge in state.penalties:
+                take_window = min(charge.window_cycles, span)
+                lost += take_window * charge.factor
+                if charge.counts_as_migration:
+                    migration_cycles = max(migration_cycles, take_window)
+                if charge.window_cycles > span:
+                    consumed.append(
+                        PenaltyCharge(
+                            charge.window_cycles - span,
+                            charge.factor,
+                            charge.counts_as_migration,
+                        )
+                    )
+            state.penalties = consumed
+            effective = max(0.0, span - lost)
+            capacity_factor = self.capacity_factor(state, throughput)
+            retired = int(throughput.ipc * effective * capacity_factor)
+            state.app.advance(retired)
+            state.instructions += retired
+            state.dram_bytes += throughput.dram_bytes_per_cycle * effective
+            instructions[state.app_id] = retired
+
+        result = EpochResult(
+            index=epoch_index,
+            start_cycle=epoch_index * self.epoch_cycles,
+            end_cycle=epoch_index * self.epoch_cycles + span,
+            instructions=instructions,
+            migration_cycles=int(migration_cycles),
+            repartitioned=False,
+        )
+        before = self.repartitions
+        self.at_epoch_end(epoch_index, span)
+        result.repartitioned = self.repartitions > before
+        # Snapshot the (possibly just-updated) partition for dynamics
+        # analysis: {app_id: (sms, channels)} at the end of this epoch.
+        result.detail["allocations"] = {
+            app_id: (state.allocation.sms, state.allocation.channels)
+            for app_id, state in self.apps.items()
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # Full runs
+    # ------------------------------------------------------------------
+    def run(self, total_cycles: int = 25_000_000,
+            mix_name: Optional[str] = None) -> SystemResult:
+        """Simulate the mix for ``total_cycles`` GPU cycles (the paper's
+        horizon is 25M) and report STP/ANTT against solo runs."""
+        runner = EpochRunner(self.epoch_cycles)
+        epochs = runner.run(self._step, total_cycles)
+        alone = self.alone_ipcs(total_cycles)
+        runs = []
+        for state in self.apps.values():
+            ipc = state.instructions / total_cycles
+            runs.append(
+                AppRun(
+                    app_id=state.app_id,
+                    name=state.app.name,
+                    ipc=ipc,
+                    ipc_alone=alone[state.app_id],
+                )
+            )
+        energy = None
+        if self.energy_model is not None:
+            total_instr = sum(s.instructions for s in self.apps.values())
+            total_dram = sum(s.dram_bytes for s in self.apps.values())
+            total_migrated = sum(s.migrated_bytes for s in self.apps.values())
+            energy = self.energy_model.energy(
+                cycles=total_cycles,
+                instructions=total_instr,
+                dram_bytes=total_dram,
+                migrated_bytes=total_migrated,
+            )
+        return SystemResult(
+            policy=self.policy_name,
+            mix_name=mix_name or "_".join(s.app.name for s in self.apps.values()),
+            runs=runs,
+            epochs=epochs,
+            total_cycles=total_cycles,
+            energy=energy,
+            repartitions=self.repartitions,
+        )
+
+    def alone_ipcs(self, total_cycles: int) -> Dict[int, float]:
+        """IPC of each application running alone on the whole GPU for the
+        same horizon (the Equation 3/4 denominator)."""
+        results: Dict[int, float] = {}
+        for state in self.apps.values():
+            solo = state.app.clone()
+            instructions = 0
+            elapsed = 0
+            while elapsed < total_cycles:
+                span = min(self.epoch_cycles, total_cycles - elapsed)
+                t = self.perf.throughput(
+                    solo.current_kernel, self.config.num_sms, self.config.num_channels
+                )
+                factor = 1.0
+                if self.fault_model is not None:
+                    charge = self.fault_model.charge(
+                        solo.footprint_bytes,
+                        float(self.total_memory_bytes),
+                        t.dram_bytes_per_cycle,
+                    )
+                    factor = charge.throughput_factor
+                retired = int(t.ipc * span * factor)
+                solo.advance(retired)
+                instructions += retired
+                elapsed += span
+            if instructions <= 0:
+                raise SimulationError(
+                    f"{state.app.name}: solo run retired no instructions"
+                )
+            results[state.app_id] = instructions / total_cycles
+        return results
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def set_allocation(self, app_id: int,
+                       allocation: ResourceAllocation) -> ResourceAllocation:
+        """Update one slice; returns the previous allocation."""
+        previous = self.apps[app_id].allocation
+        self.partition.assign(app_id, allocation)
+        self.apps[app_id].allocation = allocation
+        return previous
+
+    def apply_partition(self, allocations: Mapping[int, ResourceAllocation]) -> None:
+        self.partition.assign_all(dict(allocations))
+        for app_id, allocation in allocations.items():
+            self.apps[app_id].allocation = allocation
+
+    def add_penalty(self, app_id: int, window_cycles: float, factor: float,
+                    counts_as_migration: bool = True) -> None:
+        if window_cycles > 0 and factor > 0:
+            self.apps[app_id].penalties.append(
+                PenaltyCharge(window_cycles, factor, counts_as_migration)
+            )

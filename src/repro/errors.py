@@ -1,0 +1,60 @@
+"""Exception hierarchy for the UGPU reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures without also swallowing bugs in their own
+code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised during :meth:`validate` of configuration dataclasses, e.g. a GPU
+    with zero SMs or an HBM stack whose channel count is not a power of two.
+    """
+
+
+class AddressError(ReproError):
+    """A physical or virtual address is malformed or out of range."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation request cannot be satisfied.
+
+    Examples: requesting more SMs than the GPU has, allocating a physical
+    page when every free list is empty, or constructing overlapping slices.
+    """
+
+
+class MigrationError(ReproError):
+    """A page migration is invalid (e.g. source equals destination channel,
+    or the page is not resident where the plan claims)."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM command violates the device protocol.
+
+    Raised by the command-level HBM model when, e.g., a column access is
+    issued to a bank with no open row, or a ``MIGRATION`` command targets a
+    busy TSV bundle.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TranslationError(ReproError):
+    """Virtual-to-physical translation failed in a way that is not an
+    ordinary page fault (e.g. a page-table entry points at a freed frame)."""
+
+
+class QoSError(ReproError):
+    """A QoS constraint cannot be expressed or satisfied structurally
+    (e.g. a target above 1.0 normalized progress)."""

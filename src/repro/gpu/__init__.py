@@ -1,0 +1,39 @@
+"""GPU substrate: the simulated machine of paper Table 1.
+
+An 80-SM GPU at 1.4 GHz with a 6 MB / 64-slice LLC, an 80x64 crossbar NoC
+and the 4-stack HBM system from :mod:`repro.hbm`.  The module provides
+both structural models (SM occupancy, set-associative LLC, crossbar) and
+the analytic two-roofline performance model
+(:mod:`repro.gpu.performance`) that the epoch-level system simulation
+evaluates applications with.
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.counters import CounterBank, HardwareCounter
+from repro.gpu.kernel import Application, Kernel, KernelProgress
+from repro.gpu.llc import CacheStats, HitRateCurve, SetAssociativeCache, SlicedLLC
+from repro.gpu.noc import CrossbarNoC
+from repro.gpu.performance import PerformanceModel, SliceThroughput
+from repro.gpu.sm import OccupancyLimits, StreamingMultiprocessor, occupancy
+from repro.gpu.warp import WarpTiming, WarpTimingModel
+
+__all__ = [
+    "GPUConfig",
+    "HardwareCounter",
+    "CounterBank",
+    "Kernel",
+    "KernelProgress",
+    "Application",
+    "SetAssociativeCache",
+    "CacheStats",
+    "HitRateCurve",
+    "SlicedLLC",
+    "CrossbarNoC",
+    "PerformanceModel",
+    "SliceThroughput",
+    "StreamingMultiprocessor",
+    "OccupancyLimits",
+    "occupancy",
+    "WarpTiming",
+    "WarpTimingModel",
+]

@@ -1,0 +1,141 @@
+"""Streaming multiprocessor model: occupancy and peak issue rate.
+
+The epoch-level simulation needs two things from an SM: how many warps a
+kernel can keep resident (occupancy — bounded by threads, warps, shared
+memory, registers and block slots) and the resulting peak issue rate
+``ipc_per_sm`` that feeds the compute roofline of
+:class:`~repro.gpu.performance.PerformanceModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Which resource bounds a kernel's residency on one SM."""
+
+    blocks_by_threads: int
+    blocks_by_shared_memory: int
+    blocks_by_registers: int
+    blocks_by_slots: int
+
+    @property
+    def blocks(self) -> int:
+        """Resident thread blocks per SM."""
+        return max(
+            0,
+            min(
+                self.blocks_by_threads,
+                self.blocks_by_shared_memory,
+                self.blocks_by_registers,
+                self.blocks_by_slots,
+            ),
+        )
+
+    @property
+    def limiter(self) -> str:
+        """Name of the binding resource."""
+        pairs = [
+            ("threads", self.blocks_by_threads),
+            ("shared_memory", self.blocks_by_shared_memory),
+            ("registers", self.blocks_by_registers),
+            ("block_slots", self.blocks_by_slots),
+        ]
+        return min(pairs, key=lambda p: p[1])[0]
+
+
+def occupancy(
+    config: GPUConfig,
+    threads_per_block: int,
+    shared_mem_per_block: int = 0,
+    registers_per_thread: int = 32,
+) -> OccupancyLimits:
+    """Compute per-SM residency limits for a kernel launch."""
+    if threads_per_block <= 0:
+        raise ConfigError("threads_per_block must be positive")
+    if threads_per_block > config.max_threads_per_sm:
+        raise ConfigError(
+            f"block of {threads_per_block} threads exceeds the SM limit "
+            f"({config.max_threads_per_sm})"
+        )
+    unconstrained = 1 << 30  # sentinel well above any real block count
+    by_threads = config.max_threads_per_sm // threads_per_block
+    by_smem = (
+        config.shared_memory_per_sm // shared_mem_per_block
+        if shared_mem_per_block > 0
+        else unconstrained
+    )
+    regs_per_block = registers_per_thread * threads_per_block
+    by_regs = (
+        config.registers_per_sm // regs_per_block
+        if regs_per_block > 0
+        else unconstrained
+    )
+    return OccupancyLimits(
+        blocks_by_threads=by_threads,
+        blocks_by_shared_memory=by_smem,
+        blocks_by_registers=by_regs,
+        blocks_by_slots=config.max_blocks_per_sm,
+    )
+
+
+class StreamingMultiprocessor:
+    """Issue-rate model of one SM.
+
+    The SM issues up to ``warp_schedulers_per_sm`` instructions per cycle
+    when enough warps are ready.  A kernel's per-warp issue probability
+    (its latency-hiding quality) converts resident warps into achieved
+    IPC; the value saturates at the scheduler width.
+    """
+
+    def __init__(self, config: GPUConfig, sm_id: int = 0) -> None:
+        config.validate()
+        self.config = config
+        self.sm_id = sm_id
+        #: The application currently owning this SM (UGPU slice member).
+        self.owner: Optional[int] = None
+        self.instructions_retired = 0
+
+    def peak_ipc(self) -> float:
+        """Scheduler-bound peak warp instructions per cycle (2 in Table 1)."""
+        return float(self.config.warp_schedulers_per_sm)
+
+    def peak_thread_ipc(self) -> float:
+        """Peak *thread-level* instructions per cycle: schedulers x SIMT
+        lanes (2 x 32 = 64).  Kernel profiles (and Table 2 MPKI values)
+        count thread instructions, so this is the ceiling for a kernel's
+        ``ipc_per_sm``."""
+        return float(
+            self.config.warp_schedulers_per_sm * self.config.threads_per_warp
+        )
+
+    def achieved_ipc(self, resident_warps: int, warp_issue_prob: float) -> float:
+        """Expected IPC with ``resident_warps`` warps each ready to issue
+        with probability ``warp_issue_prob`` per cycle.
+
+        Uses the standard ``min(peak, expected ready warps)`` throughput
+        approximation; exact for both the latency-bound (few warps) and
+        throughput-bound (many warps) regimes.
+        """
+        if resident_warps < 0:
+            raise ConfigError("resident_warps must be non-negative")
+        if not 0.0 <= warp_issue_prob <= 1.0:
+            raise ConfigError("warp_issue_prob must be in [0, 1]")
+        expected_ready = resident_warps * warp_issue_prob
+        return min(self.peak_ipc(), expected_ready)
+
+    def retire(self, instructions: int) -> None:
+        """Account retired instructions (epoch bookkeeping)."""
+        if instructions < 0:
+            raise ConfigError("cannot retire a negative instruction count")
+        self.instructions_retired += instructions
+
+    def assign(self, app_id: Optional[int]) -> None:
+        """Hand this SM to an application slice (None parks it)."""
+        self.owner = app_id

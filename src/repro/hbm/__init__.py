@@ -1,0 +1,54 @@
+"""Command-level HBM model.
+
+Implements the memory substrate the paper evaluates on (Table 1): 4 HBM
+stacks, 8 channels per stack, 4 bank groups per channel, 4 banks per group,
+with the published HBM timing parameters, an FR-FCFS per-channel memory
+controller, and the PageMove hardware additions — the 4x8 bank-group-to-TSV
+crossbar, the tri-state buffer decoder, and the two-cycle ``MIGRATION``
+command (Section 4).
+
+The command-level model is used directly by microbenchmarks and by the
+migration cost calibration; the epoch-level system simulation uses the
+analytic :class:`~repro.pagemove.cost.MigrationCostModel` derived from it.
+"""
+
+from repro.hbm.config import HBMConfig, HBMTiming
+from repro.hbm.commands import (
+    Command,
+    CommandKind,
+    activate,
+    migration,
+    precharge,
+    read,
+    write,
+)
+from repro.hbm.bank import Bank, BankState
+from repro.hbm.channel import BankGroup, Channel
+from repro.hbm.crossbar import BankGroupCrossbar, TriStateDecoder
+from repro.hbm.stack import HBMStack, TSVBundle
+from repro.hbm.controller import MemoryController, MemoryRequest, RequestKind
+from repro.hbm.system import HBMSystem
+
+__all__ = [
+    "HBMConfig",
+    "HBMTiming",
+    "Command",
+    "CommandKind",
+    "activate",
+    "precharge",
+    "read",
+    "write",
+    "migration",
+    "Bank",
+    "BankState",
+    "BankGroup",
+    "Channel",
+    "BankGroupCrossbar",
+    "TriStateDecoder",
+    "HBMStack",
+    "TSVBundle",
+    "MemoryController",
+    "MemoryRequest",
+    "RequestKind",
+    "HBMSystem",
+]

@@ -1,0 +1,123 @@
+"""Command-level HBM power model.
+
+Per-command energy accounting in the style of the DRAM power models the
+paper builds on (Chatterjee et al., HPCA 2017, for HBM): every ACTIVATE
+pays a row-activation charge, every column burst pays per-bit I/O and
+array energy, MIGRATION pays array energy on both ends plus the (short,
+on-package) TSV transfer, and background power accrues with time.
+
+The model consumes the statistics the command-level structures already
+collect (:meth:`repro.hbm.system.HBMSystem.stats`), so any experiment that
+ran on the detailed model can be costed after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig
+
+
+@dataclass(frozen=True)
+class HBMEnergyBreakdown:
+    """Energy of a command-level run, in joules."""
+
+    activation: float
+    read: float
+    write: float
+    migration: float
+    background: float
+
+    @property
+    def dynamic(self) -> float:
+        return self.activation + self.read + self.write + self.migration
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.background
+
+    def fraction(self, part: str) -> float:
+        value = getattr(self, part)
+        return value / self.total if self.total > 0 else 0.0
+
+
+class HBMPowerModel:
+    """Joule costs per DRAM command (HBM2-era constants at 1.2 V).
+
+    Defaults: ~2 nJ per row activation (incl. precharge restore),
+    ~4 pJ/bit for a read burst end to end, ~4.4 pJ/bit for writes,
+    ~2.5 pJ/bit for a MIGRATION transfer (array on both ends but only the
+    short intra-stack TSV hop, no PHY/interposer traversal), and ~110 mW
+    of background power per channel.
+    """
+
+    def __init__(
+        self,
+        config: HBMConfig = HBMConfig(),
+        activate_nj: float = 2.0,
+        read_pj_per_bit: float = 4.0,
+        write_pj_per_bit: float = 4.4,
+        migration_pj_per_bit: float = 2.5,
+        background_mw_per_channel: float = 110.0,
+    ) -> None:
+        config.validate()
+        for name, value in (
+            ("activate_nj", activate_nj),
+            ("read_pj_per_bit", read_pj_per_bit),
+            ("write_pj_per_bit", write_pj_per_bit),
+            ("migration_pj_per_bit", migration_pj_per_bit),
+            ("background_mw_per_channel", background_mw_per_channel),
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        self.config = config
+        self.activate_nj = activate_nj
+        self.read_pj_per_bit = read_pj_per_bit
+        self.write_pj_per_bit = write_pj_per_bit
+        self.migration_pj_per_bit = migration_pj_per_bit
+        self.background_mw_per_channel = background_mw_per_channel
+
+    @property
+    def bits_per_column(self) -> int:
+        return self.config.column_bytes * 8
+
+    def energy(self, stats: Mapping[str, int], mem_cycles: float,
+               active_channels: int = None) -> HBMEnergyBreakdown:
+        """Cost a run from command counts plus its duration.
+
+        ``stats`` uses the keys of :meth:`HBMSystem.stats` /
+        :meth:`HBMStack.stats` (``activates``, ``reads``, ``writes``,
+        ``migrations``); MIGRATION is counted once per *copy* even though
+        both the source and destination channel record the command, so the
+        ``migrations`` count (2 per copy) is halved here.
+        """
+        if mem_cycles < 0:
+            raise ConfigError("mem_cycles must be non-negative")
+        channels = (
+            active_channels if active_channels is not None
+            else self.config.num_channels
+        )
+        if channels < 0:
+            raise ConfigError("active_channels must be non-negative")
+        seconds = mem_cycles / (self.config.freq_mhz * 1e6)
+        pj, nj = 1e-12, 1e-9
+        copies = stats.get("migrations", 0) / 2.0
+        return HBMEnergyBreakdown(
+            activation=stats.get("activates", 0) * self.activate_nj * nj,
+            read=stats.get("reads", 0) * self.bits_per_column
+            * self.read_pj_per_bit * pj,
+            write=stats.get("writes", 0) * self.bits_per_column
+            * self.write_pj_per_bit * pj,
+            migration=copies * self.bits_per_column
+            * (self.migration_pj_per_bit + self.read_pj_per_bit) * pj,
+            background=channels * self.background_mw_per_channel * 1e-3 * seconds,
+        )
+
+    def migration_vs_readwrite_ratio(self) -> float:
+        """Energy of moving one column via MIGRATION relative to a
+        read-out/write-back pair — PageMove's per-byte energy advantage."""
+        migration = self.migration_pj_per_bit + self.read_pj_per_bit
+        read_write = self.read_pj_per_bit + self.write_pj_per_bit
+        return migration / read_write

@@ -1,0 +1,98 @@
+"""Whole-memory-system facade: all stacks, channels and controllers.
+
+:class:`HBMSystem` assembles ``num_stacks`` :class:`~repro.hbm.stack.HBMStack`
+objects and one FR-FCFS controller per channel, and exposes the lookups the
+rest of the library needs: global channel ids, per-channel peak bandwidth,
+and MIGRATION dispatch by global coordinates.
+
+Global channel numbering follows the paper's address mapping: channel ``k``
+of stack ``s`` has global id ``s * channels_per_stack + k`` — but note that
+the *address interleaving* (Figure 8) spreads consecutive lines across
+stacks first, which :mod:`repro.pagemove.address_mapping` implements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+from repro.hbm.channel import Channel
+from repro.hbm.commands import Command
+from repro.hbm.config import HBMConfig
+from repro.hbm.controller import MemoryController
+from repro.hbm.stack import HBMStack
+
+
+class HBMSystem:
+    """All HBM stacks of the simulated GPU plus per-channel controllers."""
+
+    def __init__(self, config: HBMConfig = HBMConfig(), pagemove: bool = True) -> None:
+        config.validate()
+        self.config = config
+        self.pagemove = pagemove
+        self.stacks: List[HBMStack] = [
+            HBMStack(config, index=s, pagemove=pagemove)
+            for s in range(config.num_stacks)
+        ]
+        self.controllers: List[MemoryController] = []
+        for stack in self.stacks:
+            for channel in stack.channels:
+                self.controllers.append(MemoryController(config, channel))
+
+    # ------------------------------------------------------------------
+    # Coordinate helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_channels(self) -> int:
+        return self.config.num_channels
+
+    def split_channel_id(self, global_channel: int) -> Tuple[int, int]:
+        """Decompose a global channel id into (stack, local channel)."""
+        if not 0 <= global_channel < self.num_channels:
+            raise ProtocolError(
+                f"channel {global_channel} out of range [0, {self.num_channels})"
+            )
+        per = self.config.channels_per_stack
+        return global_channel // per, global_channel % per
+
+    def global_channel_id(self, stack: int, local_channel: int) -> int:
+        if not 0 <= stack < len(self.stacks):
+            raise ProtocolError(f"stack {stack} out of range")
+        if not 0 <= local_channel < self.config.channels_per_stack:
+            raise ProtocolError(f"local channel {local_channel} out of range")
+        return stack * self.config.channels_per_stack + local_channel
+
+    def channel(self, global_channel: int) -> Channel:
+        stack, local = self.split_channel_id(global_channel)
+        return self.stacks[stack].channel(local)
+
+    def controller(self, global_channel: int) -> MemoryController:
+        self.split_channel_id(global_channel)  # bounds check
+        return self.controllers[global_channel]
+
+    # ------------------------------------------------------------------
+    # Migration dispatch
+    # ------------------------------------------------------------------
+    def issue_migration(self, src_global_channel: int, cmd: Command, now: int) -> int:
+        """Route a MIGRATION to the owning stack; return completion cycle."""
+        stack, local = self.split_channel_id(src_global_channel)
+        return self.stacks[stack].issue_migration(local, cmd, now)
+
+    # ------------------------------------------------------------------
+    # Bandwidth accounting
+    # ------------------------------------------------------------------
+    def peak_bandwidth_gbps(self, num_channels: int) -> float:
+        """Peak bandwidth of an allocation of ``num_channels`` channels."""
+        if not 0 <= num_channels <= self.num_channels:
+            raise ProtocolError(
+                f"num_channels {num_channels} out of range [0, {self.num_channels}]"
+            )
+        return num_channels * self.config.channel_bandwidth_gbps
+
+    def stats(self) -> dict:
+        """Aggregate command counts across every stack."""
+        total: dict = {}
+        for stack in self.stacks:
+            for key, value in stack.stats().items():
+                total[key] = total.get(key, 0) + value
+        return total

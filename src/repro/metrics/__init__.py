@@ -1,0 +1,28 @@
+"""Multi-program performance metrics and the energy model.
+
+STP and ANTT follow Eyerman & Eeckhout's definitions (paper Equations 3-4);
+the energy model reproduces the aggregate splits of Figure 12b.
+"""
+
+from repro.metrics.multiprogram import (
+    AppRun,
+    antt,
+    normalized_progress,
+    stp,
+    summarize,
+)
+from repro.metrics.energy import EnergyBreakdown, EnergyModel
+from repro.metrics.fairness import fairness_index, harmonic_mean_np, jains_index
+
+__all__ = [
+    "AppRun",
+    "stp",
+    "antt",
+    "normalized_progress",
+    "summarize",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "fairness_index",
+    "harmonic_mean_np",
+    "jains_index",
+]

@@ -1,0 +1,54 @@
+"""Fairness metrics for multiprogram execution.
+
+Complements STP/ANTT with the fairness measures common in the
+multitasking-GPU literature the paper builds on (Jog et al., Wang et
+al.): the min/max normalized-progress ratio and the harmonic mean of
+normalized progress (which balances throughput against fairness).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.metrics.multiprogram import AppRun
+
+
+def fairness_index(runs: Sequence[AppRun]) -> float:
+    """min(NP) / max(NP): 1.0 is perfectly fair, 0 is starvation."""
+    if not runs:
+        raise ConfigError("fairness needs at least one application run")
+    progress = [run.normalized_progress for run in runs]
+    top = max(progress)
+    if top == 0:
+        return 1.0  # everyone equally stalled
+    return min(progress) / top
+
+
+def harmonic_mean_np(runs: Sequence[AppRun]) -> float:
+    """Harmonic mean of normalized progress (throughput-fairness blend).
+
+    Equals ``n / sum(slowdown_i)`` — the reciprocal of ANTT — so it
+    rewards policies that help the worst-off application.
+    """
+    if not runs:
+        raise ConfigError("harmonic mean needs at least one application run")
+    total = 0.0
+    for run in runs:
+        np_value = run.normalized_progress
+        if np_value == 0:
+            return 0.0
+        total += 1.0 / np_value
+    return len(runs) / total
+
+
+def jains_index(runs: Sequence[AppRun]) -> float:
+    """Jain's fairness index over normalized progress: in [1/n, 1]."""
+    if not runs:
+        raise ConfigError("Jain's index needs at least one application run")
+    progress = [run.normalized_progress for run in runs]
+    total = sum(progress)
+    squares = sum(p * p for p in progress)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(progress) * squares)

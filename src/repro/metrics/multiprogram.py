@@ -1,0 +1,78 @@
+"""System throughput (STP) and average normalized turnaround time (ANTT).
+
+Paper Equations 3 and 4::
+
+    STP  = sum_i IPC_i / IPC_i^alone            (higher is better)
+    ANTT = (1/n) sum_i IPC_i^alone / IPC_i      (lower is better)
+
+``IPC_i^alone`` is benchmark *i* running alone on the full GPU; ``IPC_i``
+is its IPC during multitasking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """One application's measured throughput in a multiprogram run."""
+
+    app_id: int
+    name: str
+    ipc: float
+    ipc_alone: float
+
+    def __post_init__(self) -> None:
+        if self.ipc < 0 or self.ipc_alone <= 0:
+            raise ConfigError(
+                f"{self.name}: ipc must be >= 0 and ipc_alone > 0 "
+                f"(got {self.ipc}, {self.ipc_alone})"
+            )
+
+    @property
+    def normalized_progress(self) -> float:
+        """NP = IPC / IPC_alone (the paper's QoS metric)."""
+        return self.ipc / self.ipc_alone
+
+    @property
+    def slowdown(self) -> float:
+        """IPC_alone / IPC; infinite for a stalled application."""
+        if self.ipc == 0:
+            return float("inf")
+        return self.ipc_alone / self.ipc
+
+
+def normalized_progress(ipc: float, ipc_alone: float) -> float:
+    """NP of one application."""
+    if ipc_alone <= 0:
+        raise ConfigError("ipc_alone must be positive")
+    if ipc < 0:
+        raise ConfigError("ipc must be non-negative")
+    return ipc / ipc_alone
+
+
+def stp(runs: Sequence[AppRun]) -> float:
+    """System throughput (Equation 3); ``n`` for a perfect system."""
+    if not runs:
+        raise ConfigError("stp needs at least one application run")
+    return sum(run.normalized_progress for run in runs)
+
+
+def antt(runs: Sequence[AppRun]) -> float:
+    """Average normalized turnaround time (Equation 4); 1.0 is ideal."""
+    if not runs:
+        raise ConfigError("antt needs at least one application run")
+    return sum(run.slowdown for run in runs) / len(runs)
+
+
+def summarize(runs: Sequence[AppRun]) -> Dict[str, float]:
+    """Both metrics plus the per-app minimum NP (QoS floor)."""
+    return {
+        "stp": stp(runs),
+        "antt": antt(runs),
+        "min_np": min(run.normalized_progress for run in runs),
+    }

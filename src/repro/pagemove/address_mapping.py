@@ -1,0 +1,276 @@
+"""PageMove's customized physical address mapping (paper Figure 8).
+
+Bit layout of a physical byte address, low to high, for the baseline
+geometry (4 stacks, 8 channels/stack, 4 bank groups/channel, 4 banks/group,
+2 KB rows, 128 B cache lines, 4 KB pages)::
+
+    [6:0]    byte within a 128 B cache line (column)
+    [8:7]    HBM stack id                      (paper: "bits [7:8]")
+    [10:9]   bank group id                     (paper: "bits [9:10]")
+    [11]     low column bit
+    [14:12]  channel within each stack         (paper: "bits [12:14]")
+    [16:15]  bank id within the bank group
+    [19:17]  high column bits
+    [33:20]  row id
+
+Consequences the paper relies on, all testable properties here:
+
+* A 4 KB page occupies exactly one *channel index* but is striped across
+  all 4 stacks and all 4 bank groups (16 slices of 256 B = 2 columns each).
+* Migrating a page to another channel never crosses a stack boundary, and
+  all 4 bank groups can copy their slices concurrently — 32 MIGRATION
+  commands per page, at most 2 serialized per bank group.
+* The driver can steer a page's channel by choosing the frame number's low
+  bits (the channel field sits directly above the page offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import AddressError, ConfigError
+from repro.hbm.config import HBMConfig
+from repro.units import log2_int
+
+
+@dataclass(frozen=True)
+class ColumnLocation:
+    """DRAM coordinates of one 128 B cache line."""
+
+    stack: int
+    channel: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class PageCoordinates:
+    """Where a whole page lives: shared coordinates of its 32 columns.
+
+    A page's columns share the channel index, bank and row; they differ in
+    stack, bank group and the two column slots.
+    """
+
+    channel: int
+    bank: int
+    row: int
+    column_base: int    #: first of the page's columns within the row
+    columns_per_slice: int  #: columns per (stack, bank group) slice
+
+
+class PageMoveAddressMapping:
+    """Decode/encode physical addresses under the Figure 8 layout."""
+
+    def __init__(self, config: HBMConfig = HBMConfig(), page_size: int = 4096) -> None:
+        config.validate()
+        self.config = config
+        self.page_size = page_size
+        self.line_bits = log2_int(config.column_bytes)
+        self.stack_bits = log2_int(config.num_stacks)
+        self.group_bits = log2_int(config.bank_groups_per_channel)
+        self.channel_bits = log2_int(config.channels_per_stack)
+        self.bank_bits = log2_int(config.banks_per_group)
+        self.column_bits = log2_int(config.columns_per_row)
+        page_bits = log2_int(page_size)
+        #: Bits of column index that fall inside the page offset.
+        self.low_column_bits = page_bits - (
+            self.line_bits + self.stack_bits + self.group_bits
+        )
+        if self.low_column_bits < 0:
+            raise ConfigError(
+                f"page size {page_size} too small for the interleave fields"
+            )
+        if self.low_column_bits > self.column_bits:
+            raise ConfigError(
+                f"page size {page_size} needs {self.low_column_bits} low column"
+                f" bits but rows only have {self.column_bits} column bits"
+            )
+        self.high_column_bits = self.column_bits - self.low_column_bits
+        self.page_bits = page_bits
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def slices_per_page(self) -> int:
+        """(stack, bank group) slices a page is striped over (16)."""
+        return self.config.num_stacks * self.config.bank_groups_per_channel
+
+    @property
+    def columns_per_slice(self) -> int:
+        """Cache lines of one page held by one (stack, bank group) (2)."""
+        return 1 << self.low_column_bits
+
+    @property
+    def migrations_per_page(self) -> int:
+        """MIGRATION commands needed per page (32 in the paper)."""
+        return self.slices_per_page * self.columns_per_slice
+
+    @property
+    def serialized_migrations_per_bank_group(self) -> int:
+        """MIGRATIONs that must serialize on one bank group's bus (2)."""
+        return self.columns_per_slice
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical memory capacity the mapping addresses."""
+        cfg = self.config
+        return (
+            cfg.num_stacks
+            * cfg.channels_per_stack
+            * cfg.bank_groups_per_channel
+            * cfg.banks_per_group
+            * cfg.rows_per_bank
+            * cfg.row_size_bytes
+        )
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.total_bytes // self.config.channels_per_stack // self.page_size
+
+    # ------------------------------------------------------------------
+    # Byte-address decode
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> ColumnLocation:
+        """Decode a physical byte address into DRAM coordinates."""
+        if not 0 <= address < self.total_bytes:
+            raise AddressError(
+                f"physical address {address:#x} outside {self.total_bytes:#x}"
+            )
+        bits = address >> self.line_bits
+        stack = bits & ((1 << self.stack_bits) - 1)
+        bits >>= self.stack_bits
+        group = bits & ((1 << self.group_bits) - 1)
+        bits >>= self.group_bits
+        col_low = bits & ((1 << self.low_column_bits) - 1)
+        bits >>= self.low_column_bits
+        channel = bits & ((1 << self.channel_bits) - 1)
+        bits >>= self.channel_bits
+        bank = bits & ((1 << self.bank_bits) - 1)
+        bits >>= self.bank_bits
+        col_high = bits & ((1 << self.high_column_bits) - 1)
+        bits >>= self.high_column_bits
+        row = bits
+        if row >= self.config.rows_per_bank:
+            raise AddressError(f"row {row} out of range")  # pragma: no cover
+        return ColumnLocation(
+            stack=stack,
+            channel=channel,
+            bank_group=group,
+            bank=bank,
+            row=row,
+            column=(col_high << self.low_column_bits) | col_low,
+        )
+
+    # ------------------------------------------------------------------
+    # Page-granularity helpers
+    # ------------------------------------------------------------------
+    def channel_of_page(self, rpn: int) -> int:
+        """Channel index a physical page lives in (rpn low bits)."""
+        self._check_rpn(rpn)
+        return rpn & ((1 << self.channel_bits) - 1)
+
+    def page_coordinates(self, rpn: int) -> PageCoordinates:
+        """Shared DRAM coordinates of a page's columns."""
+        self._check_rpn(rpn)
+        bits = rpn
+        channel = bits & ((1 << self.channel_bits) - 1)
+        bits >>= self.channel_bits
+        bank = bits & ((1 << self.bank_bits) - 1)
+        bits >>= self.bank_bits
+        col_high = bits & ((1 << self.high_column_bits) - 1)
+        bits >>= self.high_column_bits
+        row = bits
+        return PageCoordinates(
+            channel=channel,
+            bank=bank,
+            row=row,
+            column_base=col_high << self.low_column_bits,
+            columns_per_slice=self.columns_per_slice,
+        )
+
+    def rpn_for(self, channel: int, bank: int, row: int, column_slot: int = 0) -> int:
+        """Compose a frame number from DRAM coordinates (inverse of
+        :meth:`page_coordinates`); ``column_slot`` picks one of the pages
+        sharing a row."""
+        if not 0 <= channel < self.config.channels_per_stack:
+            raise AddressError(f"channel {channel} out of range")
+        if not 0 <= bank < self.config.banks_per_group:
+            raise AddressError(f"bank {bank} out of range")
+        if not 0 <= row < self.config.rows_per_bank:
+            raise AddressError(f"row {row} out of range")
+        if not 0 <= column_slot < (1 << self.high_column_bits):
+            raise AddressError(f"column slot {column_slot} out of range")
+        rpn = row
+        rpn = (rpn << self.high_column_bits) | column_slot
+        rpn = (rpn << self.bank_bits) | bank
+        rpn = (rpn << self.channel_bits) | channel
+        return rpn
+
+    def page_columns(self, rpn: int) -> List[ColumnLocation]:
+        """All cache-line locations of a page, ordered by (stack, group,
+        slice column) — the order PPMM issues MIGRATIONs in."""
+        coords = self.page_coordinates(rpn)
+        cfg = self.config
+        locations = []
+        for stack in range(cfg.num_stacks):
+            for group in range(cfg.bank_groups_per_channel):
+                for slot in range(self.columns_per_slice):
+                    locations.append(
+                        ColumnLocation(
+                            stack=stack,
+                            channel=coords.channel,
+                            bank_group=group,
+                            bank=coords.bank,
+                            row=coords.row,
+                            column=coords.column_base + slot,
+                        )
+                    )
+        return locations
+
+    def retarget_page(self, rpn: int, new_channel: int) -> int:
+        """Frame number of the same in-stack location in another channel —
+        the destination shape PPMM migrations preserve."""
+        coords = self.page_coordinates(rpn)
+        slot = coords.column_base >> self.low_column_bits
+        return self.rpn_for(new_channel, coords.bank, coords.row, slot)
+
+    def frames_of_channel(self, channel: int) -> Iterator[int]:
+        """All frame numbers living in ``channel``, ascending."""
+        if not 0 <= channel < self.config.channels_per_stack:
+            raise AddressError(f"channel {channel} out of range")
+        step = 1 << self.channel_bits
+        total_frames = self.total_bytes // self.page_size
+        return iter(range(channel, total_frames, step))
+
+    def _check_rpn(self, rpn: int) -> None:
+        if not 0 <= rpn < self.total_bytes // self.page_size:
+            raise AddressError(
+                f"rpn {rpn} outside physical memory "
+                f"({self.total_bytes // self.page_size} frames)"
+            )
+
+
+class InterleavedPageMapping:
+    """Adapter exposing the Figure 8 mapping through the small interface
+    :class:`repro.vm.driver.GPUDriver` uses for frame bookkeeping."""
+
+    def __init__(self, mapping: PageMoveAddressMapping) -> None:
+        self.mapping = mapping
+
+    @property
+    def num_channel_groups(self) -> int:
+        return self.mapping.config.channels_per_stack
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.mapping.pages_per_channel
+
+    def channel_of_frame(self, rpn: int) -> int:
+        return self.mapping.channel_of_page(rpn)
+
+    def frames_of_channel(self, channel: int) -> Iterator[int]:
+        return self.mapping.frames_of_channel(channel)

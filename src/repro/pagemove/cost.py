@@ -1,0 +1,168 @@
+"""Analytic migration cost model, calibrated against the command-level
+HBM model (see ``benchmarks/test_sens_migration_latency.py``).
+
+Three modes, matching the paper's evaluated design points (Section 6.2):
+
+* ``PPMM`` — full PageMove: Figure 8 mapping + 4x8 crossbar + MIGRATION
+  command.  A page needs 32 MIGRATION commands; within each stack the 4
+  bank groups copy concurrently, so only ``columns_per_slice`` (2) commands
+  serialize per bank group: ~80 GPU cycles of DRAM-side latency per page.
+  Demand traffic keeps flowing because the copies use idle TSVs, costing
+  only a small bank-group-occupancy penalty on the two involved channels.
+* ``SOFTWARE`` — UGPU-Soft: the customized mapping and virtual-memory
+  updates but no crossbar.  Pages still move within a stack, but over the
+  normal READ/WRITE path, monopolizing the source and destination channel
+  data buses for the copy duration.
+* ``TRADITIONAL`` — UGPU-Ori: stock mapping, so a page's data is spread
+  over *all* channels; reallocation re-organizes data across the whole
+  hierarchy through the NoC and LLC, stalling demand traffic system-wide.
+
+All returned latencies are GPU core cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig
+from repro.pagemove.address_mapping import PageMoveAddressMapping
+from repro.vm.driver import DRIVER_FAULT_CYCLES
+
+
+class MigrationMode(enum.Enum):
+    """Page migration mechanism being modelled."""
+
+    PPMM = "ppmm"
+    SOFTWARE = "software"
+    TRADITIONAL = "traditional"
+
+
+@dataclass(frozen=True)
+class MigrationCharge:
+    """Cost of migrating a batch of pages.
+
+    Attributes
+    ----------
+    window_cycles:
+        Wall-clock GPU cycles the migration occupies (applications keep
+        executing during this window; see Figure 12a).
+    channel_bw_penalty:
+        Fraction of the source/destination channels' bandwidth consumed by
+        the copies during the window (0..1).
+    global_penalty:
+        System-wide slowdown factor during the window (NoC/LLC pollution),
+        nonzero only in TRADITIONAL mode.
+    commands:
+        DRAM data-movement commands issued (MIGRATIONs, or READ+WRITE
+        pairs for the software paths).
+    bytes_moved:
+        Total payload migrated.
+    """
+
+    window_cycles: float
+    channel_bw_penalty: float
+    global_penalty: float
+    commands: int
+    bytes_moved: int
+
+
+class MigrationCostModel:
+    """Closed-form costs for the three migration mechanisms."""
+
+    #: Fraction of a channel's bandwidth PPMM steals (bank groups briefly
+    #: busy with MIGRATION columns; the external bus stays free).
+    PPMM_BW_PENALTY = 0.12
+    #: The software paths monopolize the two involved channels.
+    SOFT_BW_PENALTY = 1.0
+    #: TRADITIONAL additionally slows the whole system (NoC + LLC churn).
+    TRADITIONAL_GLOBAL_PENALTY = 0.30
+
+    def __init__(self, config: HBMConfig = HBMConfig(),
+                 mapping: PageMoveAddressMapping = None,
+                 driver_cycles: int = DRIVER_FAULT_CYCLES) -> None:
+        config.validate()
+        self.config = config
+        self.mapping = mapping if mapping is not None else PageMoveAddressMapping(config)
+        if driver_cycles < 0:
+            raise ConfigError("driver_cycles must be non-negative")
+        self.driver_cycles = driver_cycles
+
+    # ------------------------------------------------------------------
+    # Per-page latencies
+    # ------------------------------------------------------------------
+    def page_cycles(self, mode: MigrationMode) -> float:
+        """Serialized GPU cycles to move one page, excluding driver time."""
+        cfg = self.config
+        mig_gpu = cfg.migration_gpu_cycles_per_command()
+        if mode is MigrationMode.PPMM:
+            # Bank groups copy in parallel; only the per-bank-group chain
+            # of `columns_per_slice` MIGRATIONs serializes (2 x 40 = 80).
+            return self.mapping.serialized_migrations_per_bank_group * mig_gpu
+        # Software copy of one page slice per stack over the channel bus:
+        # without the crossbar the data leaves the source die through its
+        # TSVs, is buffered on the logic die, and re-enters through the
+        # destination die's TSVs — each 128 B column crosses a channel bus
+        # twice on the read side and twice on the write side (4 bus
+        # transits per column), plus row handling on both banks.
+        slice_bytes = self.mapping.page_size // cfg.num_stacks
+        bursts = slice_bytes // cfg.column_bytes
+        mem_clocks = 4 * bursts * cfg.timing.tBL
+        soft = cfg.to_gpu_cycles(mem_clocks) + cfg.to_gpu_cycles(
+            2 * (cfg.timing.tRCD + cfg.timing.tRP)         # row handling
+        )
+        if mode is MigrationMode.SOFTWARE:
+            return soft
+        if mode is MigrationMode.TRADITIONAL:
+            # Stock mapping: data crosses the NoC twice (to the GPU and
+            # back) and cannot exploit intra-stack locality: ~2x the
+            # software path plus a fixed per-page driver/LLC detour.
+            return 2.0 * soft + 120.0
+        raise ConfigError(f"unknown migration mode {mode}")  # pragma: no cover
+
+    def commands_per_page(self, mode: MigrationMode) -> int:
+        """DRAM data commands issued per page."""
+        columns = self.mapping.page_size // self.config.column_bytes
+        if mode is MigrationMode.PPMM:
+            return self.mapping.migrations_per_page
+        return 2 * columns  # READ + WRITE per cache line
+
+    # ------------------------------------------------------------------
+    # Batch costs
+    # ------------------------------------------------------------------
+    def charge(self, n_pages: int, mode: MigrationMode) -> MigrationCharge:
+        """Cost of migrating ``n_pages`` in one reallocation batch.
+
+        Pages pipeline back-to-back within a channel pair; the driver pays
+        one software invocation per batch plus a small per-page table
+        update folded into the pipeline.
+        """
+        if n_pages < 0:
+            raise ConfigError(f"n_pages must be non-negative, got {n_pages}")
+        if n_pages == 0:
+            return MigrationCharge(0.0, 0.0, 0.0, 0, 0)
+        per_page = self.page_cycles(mode)
+        window = self.driver_cycles + n_pages * per_page
+        penalty = (
+            self.PPMM_BW_PENALTY
+            if mode is MigrationMode.PPMM
+            else self.SOFT_BW_PENALTY
+        )
+        global_penalty = (
+            self.TRADITIONAL_GLOBAL_PENALTY
+            if mode is MigrationMode.TRADITIONAL
+            else 0.0
+        )
+        return MigrationCharge(
+            window_cycles=window,
+            channel_bw_penalty=penalty,
+            global_penalty=global_penalty,
+            commands=n_pages * self.commands_per_page(mode),
+            bytes_moved=n_pages * self.mapping.page_size,
+        )
+
+    def fault_migration_cycles(self, mode: MigrationMode) -> float:
+        """Latency of a single demand-triggered page migration (a
+        LOST_CHANNEL or REBALANCE fault): driver software plus one page."""
+        return self.driver_cycles + self.page_cycles(mode)

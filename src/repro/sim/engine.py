@@ -1,0 +1,156 @@
+"""Minimal discrete-event simulation core.
+
+The command-level HBM model and the epoch-level system simulation both need
+an ordered notion of time.  :class:`EventQueue` provides deterministic
+ordering: events firing at the same timestamp are delivered in insertion
+order (FIFO tie-breaking), which keeps simulations reproducible regardless
+of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped callback.
+
+    Ordering is (time, sequence) so that simultaneous events fire in the
+    order they were scheduled.
+    """
+
+    time: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class SimClock:
+    """A monotonically non-decreasing cycle counter."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start negative: {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past; the engine never rewinds.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = int(time)
+
+    def advance_by(self, cycles: int) -> None:
+        """Move the clock forward by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise SimulationError(f"cannot advance by negative cycles: {cycles}")
+        self._now += int(cycles)
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects.
+
+    The queue owns a :class:`SimClock`; :meth:`run_until` pops events in
+    timestamp order, advancing the clock to each event's time before
+    invoking its action.  Actions may schedule further events.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._fired = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events delivered so far."""
+        return self._fired
+
+    def schedule(self, time: int, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` to run at absolute cycle ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now}, time={time}"
+            )
+        event = Event(time=int(time), seq=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: int, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.clock.now + delay, action, tag)
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the next live event, or None if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Optional[Event]:
+        """Fire the single next event; return it, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        event.action()
+        self._fired += 1
+        return event
+
+    def run_until(self, time: int) -> int:
+        """Fire every event scheduled at or before ``time``.
+
+        The clock ends exactly at ``time`` even if the last event fired
+        earlier.  Returns the number of events fired.
+        """
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+        self.clock.advance_to(max(self.clock.now, time))
+        return fired
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely; guard against runaway schedules."""
+        fired = 0
+        while self.step() is not None:
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"event storm: more than {max_events} events fired"
+                )
+        return fired
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,132 @@
+"""Epoch-based simulation driver.
+
+UGPU divides execution time into fixed-length epochs (5M GPU cycles by
+default, Section 3.3).  At each epoch boundary the profiling counters are
+read, the demand-aware partitioning algorithm may produce a new resource
+allocation, and the reallocation cost (SM drain/switch plus page migration)
+is charged against the following epoch.
+
+:class:`EpochRunner` is policy-agnostic: it repeatedly calls a
+``step(epoch_index, epoch_cycles)`` callable supplied by the system model
+and records per-epoch results, so UGPU, BP and MPS system models all reuse
+the same driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one simulated epoch.
+
+    Attributes
+    ----------
+    index:
+        Zero-based epoch number.
+    start_cycle, end_cycle:
+        GPU-cycle interval the epoch covers.
+    instructions:
+        Per-application instruction counts retired this epoch, keyed by
+        application id.
+    migration_cycles:
+        Cycles of the epoch consumed by resource reallocation (SM context
+        movement plus page migration), as plotted in Figure 12a.
+    repartitioned:
+        True if the resource allocation changed at the start of this epoch.
+    detail:
+        Free-form per-model extras (e.g. counter snapshots).
+    """
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    instructions: dict = field(default_factory=dict)
+    migration_cycles: int = 0
+    repartitioned: bool = False
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Length of the epoch in GPU cycles."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def migration_fraction(self) -> float:
+        """Fraction of the epoch spent on resource reallocation."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.migration_cycles / self.cycles
+
+
+class EpochRunner:
+    """Drive a system model through fixed-length profiling epochs."""
+
+    def __init__(self, epoch_cycles: int = 5_000_000) -> None:
+        if epoch_cycles <= 0:
+            raise ValueError(f"epoch length must be positive, got {epoch_cycles}")
+        self.epoch_cycles = int(epoch_cycles)
+        self.results: List[EpochResult] = []
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles simulated so far."""
+        return self.epoch_cycles * len(self.results)
+
+    def run(
+        self,
+        step: Callable[[int, int], EpochResult],
+        total_cycles: int,
+        stop_when: Optional[Callable[[EpochResult], bool]] = None,
+    ) -> List[EpochResult]:
+        """Run epochs until ``total_cycles`` have been simulated.
+
+        Parameters
+        ----------
+        step:
+            Callable invoked once per epoch with ``(epoch_index,
+            epoch_cycles)``; must return an :class:`EpochResult`.
+        total_cycles:
+            Simulation horizon; the last epoch may be truncated.
+        stop_when:
+            Optional early-exit predicate evaluated on each result.
+        """
+        if total_cycles <= 0:
+            raise ValueError(f"total_cycles must be positive, got {total_cycles}")
+        elapsed = 0
+        index = len(self.results)
+        while elapsed < total_cycles:
+            span = min(self.epoch_cycles, total_cycles - elapsed)
+            result = step(index, span)
+            self.results.append(result)
+            elapsed += span
+            index += 1
+            if stop_when is not None and stop_when(result):
+                break
+        return self.results
+
+    def migration_fractions(self) -> List[float]:
+        """Per-epoch reallocation occupancy (Figure 12a series)."""
+        return [r.migration_fraction for r in self.results]
+
+    def total_instructions(self) -> dict:
+        """Sum instruction counts per application across all epochs."""
+        totals: dict = {}
+        for result in self.results:
+            for app_id, count in result.instructions.items():
+                totals[app_id] = totals.get(app_id, 0) + count
+        return totals
+
+
+def truncate_epochs(results: Iterable[EpochResult], max_cycles: int) -> List[EpochResult]:
+    """Return the prefix of ``results`` covering at most ``max_cycles``."""
+    out: List[EpochResult] = []
+    used = 0
+    for result in results:
+        if used >= max_cycles:
+            break
+        out.append(result)
+        used += result.cycles
+    return out

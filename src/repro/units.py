@@ -1,0 +1,70 @@
+"""Unit helpers and conversion constants.
+
+The simulator mixes three unit systems: bytes (capacities and footprints),
+GPU core cycles (all latencies in the epoch simulation), and seconds (for
+bandwidth figures quoted in GB/s).  This module centralizes the conversions
+so individual models never hand-roll ``1e9`` factors.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Decimal gigabyte, used for bandwidth figures quoted as GB/s in the paper
+#: (e.g. the 900 GB/s aggregate HBM bandwidth).
+GB_DECIMAL = 1_000_000_000
+
+
+def bytes_to_mb(n_bytes: int) -> float:
+    """Return ``n_bytes`` expressed in binary megabytes."""
+    return n_bytes / MB
+
+
+def gbps_to_bytes_per_cycle(gbps: float, freq_hz: float) -> float:
+    """Convert a decimal-GB/s bandwidth into bytes per clock cycle.
+
+    Parameters
+    ----------
+    gbps:
+        Bandwidth in decimal gigabytes per second.
+    freq_hz:
+        The clock frequency whose cycles the result should be expressed in.
+    """
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return gbps * GB_DECIMAL / freq_hz
+
+
+def bytes_per_cycle_to_gbps(bpc: float, freq_hz: float) -> float:
+    """Convert bytes-per-cycle at ``freq_hz`` into decimal GB/s."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return bpc * freq_hz / GB_DECIMAL
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Return the wall-clock duration of ``cycles`` at ``freq_hz``."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return cycles / freq_hz
+
+
+def seconds_to_cycles(seconds: float, freq_hz: float) -> float:
+    """Return the number of ``freq_hz`` cycles elapsing in ``seconds``."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return seconds * freq_hz
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return ``log2(n)`` for a power-of-two ``n``; raise otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1

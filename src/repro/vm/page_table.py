@@ -1,0 +1,178 @@
+"""4-level radix page table.
+
+One table per application (the paper isolates address spaces via per-app
+CR3 roots).  The table maps 36-bit VPNs to physical page numbers (RPNs in
+the paper's terminology) plus the memory channel group holding the page —
+the attribute PageMove's fault handling inspects (Section 4.4).
+
+The structure is an explicit radix tree rather than a flat dict so the
+page-table walker can charge a realistic number of memory references per
+walk (one per level, minus MMU-cache hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import TranslationError
+from repro.vm.address import LEVELS, VirtualAddress
+
+
+@dataclass
+class PageTableEntry:
+    """Leaf entry: the translation plus PageMove bookkeeping.
+
+    Attributes
+    ----------
+    rpn:
+        Real (physical) page number.
+    channel:
+        Memory channel group currently holding the physical page.
+    valid:
+        Cleared when PageMove invalidates the entry during reallocation.
+    dirty, referenced:
+        Standard status bits (used by tests and the migration planner).
+    """
+
+    rpn: int
+    channel: int
+    valid: bool = True
+    dirty: bool = False
+    referenced: bool = False
+
+
+class _Node:
+    """Interior radix node."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        self.children: Dict[int, object] = {}
+
+
+class PageTable:
+    """A 4-level page table for one application address space."""
+
+    def __init__(self, app_id: int, cr3: Optional[int] = None) -> None:
+        self.app_id = app_id
+        #: Emulates the CR3 root-pointer register value for identification.
+        self.cr3 = cr3 if cr3 is not None else (0x1000 + app_id)
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def map(self, vpn: int, rpn: int, channel: int) -> PageTableEntry:
+        """Install (or replace) the translation for ``vpn``."""
+        node = self._root
+        indices = VirtualAddress.from_vpn(vpn).table_indices()
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if child is None:
+                child = _Node()
+                node.children[index] = child
+            node = child
+        leaf_index = indices[-1]
+        existed = leaf_index in node.children
+        entry = PageTableEntry(rpn=rpn, channel=channel)
+        node.children[leaf_index] = entry
+        if not existed:
+            self._count += 1
+        return entry
+
+    def unmap(self, vpn: int) -> PageTableEntry:
+        """Remove the translation for ``vpn``; return the removed entry."""
+        node, leaf_index = self._walk_to_leaf(vpn)
+        entry = node.children.pop(leaf_index, None)
+        if entry is None:
+            raise TranslationError(f"vpn {vpn:#x} is not mapped (app {self.app_id})")
+        self._count -= 1
+        return entry
+
+    def invalidate(self, vpn: int) -> PageTableEntry:
+        """Clear the valid bit (PageMove's PTW-driven invalidation)."""
+        entry = self.lookup(vpn)
+        if entry is None:
+            raise TranslationError(f"vpn {vpn:#x} is not mapped (app {self.app_id})")
+        entry.valid = False
+        return entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        """Return the entry for ``vpn`` or None; does not touch status bits."""
+        node, leaf_index = self._walk_to_leaf(vpn)
+        child = node.children.get(leaf_index)
+        return child if isinstance(child, PageTableEntry) else None
+
+    def translate(self, vpn: int) -> Optional[PageTableEntry]:
+        """Lookup that also sets the referenced bit on a valid hit."""
+        entry = self.lookup(vpn)
+        if entry is not None and entry.valid:
+            entry.referenced = True
+            return entry
+        return None
+
+    def levels_touched(self, vpn: int) -> int:
+        """How many radix levels a walk for ``vpn`` traverses before
+        either finding the leaf or hitting a hole (for PTW latency)."""
+        node = self._root
+        indices = VirtualAddress.from_vpn(vpn).table_indices()
+        touched = 0
+        for index in indices[:-1]:
+            touched += 1
+            child = node.children.get(index)
+            if not isinstance(child, _Node):
+                return touched
+            node = child
+        return LEVELS
+
+    # ------------------------------------------------------------------
+    # Iteration (used by the migration planner)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        """Yield (vpn, entry) pairs in ascending VPN order."""
+
+        def recurse(node: _Node, prefix: int, depth: int):
+            for index in sorted(node.children):
+                child = node.children[index]
+                vpn_part = (prefix << 9) | index
+                if isinstance(child, PageTableEntry):
+                    yield vpn_part, child
+                else:
+                    yield from recurse(child, vpn_part, depth + 1)
+
+        yield from recurse(self._root, 0, 1)
+
+    def pages_in_channel(self, channel: int) -> Iterator[Tuple[int, PageTableEntry]]:
+        """Yield the (vpn, entry) pairs whose physical page lives in
+        ``channel`` — the pages PageMove must migrate when that channel is
+        reallocated away."""
+        for vpn, entry in self.entries():
+            if entry.channel == channel and entry.valid:
+                yield vpn, entry
+
+    def channel_page_counts(self) -> Dict[int, int]:
+        """Count of valid resident pages per channel group (the driver's
+        balance bookkeeping from Section 4.4)."""
+        counts: Dict[int, int] = {}
+        for _, entry in self.entries():
+            if entry.valid:
+                counts[entry.channel] = counts.get(entry.channel, 0) + 1
+        return counts
+
+    def _walk_to_leaf(self, vpn: int):
+        node = self._root
+        indices = VirtualAddress.from_vpn(vpn).table_indices()
+        for index in indices[:-1]:
+            child = node.children.get(index)
+            if not isinstance(child, _Node):
+                return _Node(), indices[-1]  # unmapped region
+            node = child
+        return node, indices[-1]

@@ -1,0 +1,61 @@
+"""Workload models.
+
+The paper evaluates 15 GPU-compute benchmarks (Table 2) from Rodinia,
+Parboil, the CUDA SDK and Mars, plus 5 Tango AI workloads (Section 6.6).
+We cannot run CUDA binaries, so each benchmark is modelled by the profile
+UGPU's hardware observes: per-kernel peak issue rate, LLC APKI, hit rate
+and footprint, pinned to the published Table 2 MPKI / kernel-count /
+footprint columns (see DESIGN.md's substitution table).
+"""
+
+from repro.workloads.benchmarks import (
+    COMPUTE_BOUND_ABBRS,
+    MEMORY_BOUND_ABBRS,
+    TABLE2,
+    BenchmarkSpec,
+    build_application,
+    catalog,
+    spec_for,
+)
+from repro.workloads.ai_models import AI_MODELS, build_ai_application
+from repro.workloads.mixes import (
+    MultiProgramMix,
+    all_pairs,
+    build_mix,
+    eight_program_mixes,
+    four_program_mixes,
+    heterogeneous_pairs,
+    homogeneous_pairs,
+)
+from repro.workloads.characterize import TraceCharacterizer, TraceProfile
+from repro.workloads.synthetic import (
+    hotset_trace,
+    strided_trace,
+    streaming_trace,
+    synthetic_kernel,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "TABLE2",
+    "MEMORY_BOUND_ABBRS",
+    "COMPUTE_BOUND_ABBRS",
+    "catalog",
+    "spec_for",
+    "build_application",
+    "AI_MODELS",
+    "build_ai_application",
+    "MultiProgramMix",
+    "heterogeneous_pairs",
+    "homogeneous_pairs",
+    "all_pairs",
+    "build_mix",
+    "four_program_mixes",
+    "eight_program_mixes",
+    "streaming_trace",
+    "strided_trace",
+    "hotset_trace",
+    "synthetic_kernel",
+    "TraceCharacterizer",
+    "TraceProfile",
+]

@@ -1,0 +1,104 @@
+"""AI workload models (paper Section 6.6, Tango benchmark suite).
+
+Each network is modelled layer-by-layer: convolution layers are
+compute-heavy (high arithmetic intensity, modest APKI), fully connected
+and recurrent layers stream weight matrices (high APKI, low reuse).  The
+per-layer profiles are derived from the well-known layer shapes of each
+network; UGPU only ever observes the resulting counter values, so this
+level of fidelity matches what the mechanism can exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.kernel import Application, Kernel
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer type's execution profile."""
+
+    name: str
+    ipc_per_sm: float
+    apki_llc: float
+    llc_hit_rate: float
+    instructions: int
+
+
+def _conv(name: str, scale: float = 1.0) -> LayerProfile:
+    """Convolutions: good reuse but heavy LLC access streams (im2col
+    expansions), leaving them mildly memory-bound on this machine."""
+    return LayerProfile(name, ipc_per_sm=62.0, apki_llc=5.5,
+                        llc_hit_rate=0.82, instructions=int(4_000_000_000 * scale))
+
+
+def _fc(name: str, scale: float = 1.0) -> LayerProfile:
+    """Fully connected layers: stream weights, memory-bound."""
+    return LayerProfile(name, ipc_per_sm=56.0, apki_llc=7.0,
+                        llc_hit_rate=0.25, instructions=int(1_500_000_000 * scale))
+
+
+def _recurrent(name: str, scale: float = 1.0) -> LayerProfile:
+    """GRU/LSTM cells: matrix-vector streams, strongly memory-bound."""
+    return LayerProfile(name, ipc_per_sm=50.0, apki_llc=9.0,
+                        llc_hit_rate=0.20, instructions=int(2_500_000_000 * scale))
+
+
+def _pool(name: str) -> LayerProfile:
+    """Pooling/normalization: light, bandwidth-leaning."""
+    return LayerProfile(name, ipc_per_sm=58.0, apki_llc=6.0,
+                        llc_hit_rate=0.50, instructions=800_000_000)
+
+
+#: name -> (layer profiles, model footprint in MB)
+AI_MODELS: Dict[str, Tuple[List[LayerProfile], int]] = {
+    "AlexNet": (
+        [
+            _conv("conv1", 1.2), _pool("pool1"),
+            _conv("conv2", 1.5), _pool("pool2"),
+            _conv("conv3", 1.1), _conv("conv4", 1.0), _conv("conv5", 0.8),
+            _fc("fc6", 2.5), _fc("fc7", 1.1), _fc("fc8", 0.3),
+        ],
+        240,
+    ),
+    "ResNet": (
+        [_conv(f"conv{i}", 0.9 + 0.02 * i) for i in range(1, 17)]
+        + [_pool("avgpool"), _fc("fc", 0.2)],
+        110,
+    ),
+    "SqueezeNet": (
+        [_conv("conv1", 0.8)]
+        + [p for i in range(1, 9) for p in (_conv(f"fire{i}/squeeze", 0.3),
+                                            _conv(f"fire{i}/expand", 0.6))]
+        + [_pool("avgpool")],
+        30,
+    ),
+    "GRU": ([_recurrent(f"step{i}", 1.0) for i in range(8)], 320),
+    "LSTM": ([_recurrent(f"step{i}", 1.2) for i in range(8)], 410),
+}
+
+
+def build_ai_application(name: str, app_id: int = 0) -> Application:
+    """Instantiate a Tango network as an :class:`Application`."""
+    try:
+        layers, footprint_mb = AI_MODELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown AI model {name!r}; known: {sorted(AI_MODELS)}"
+        ) from None
+    kernels = [
+        Kernel(
+            name=f"{name}/{layer.name}",
+            ipc_per_sm=layer.ipc_per_sm,
+            apki_llc=layer.apki_llc,
+            llc_hit_rate=layer.llc_hit_rate,
+            footprint_bytes=footprint_mb * MB,
+            instructions=layer.instructions,
+        )
+        for layer in layers
+    ]
+    return Application(app_id=app_id, name=name, kernels=kernels)

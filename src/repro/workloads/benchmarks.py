@@ -1,0 +1,171 @@
+"""The paper's Table 2 benchmark catalog.
+
+Published columns (MPKI, kernel count, memory footprint) are reproduced
+verbatim.  The remaining profile parameters — peak per-SM issue rate and
+LLC hit rate — are not in the paper; they are calibrated per benchmark so
+that (a) ``apki * (1 - hit) == MPKI`` holds exactly, (b) the ten
+memory-bound benchmarks exceed bandwidth supply at the even partition
+(40 SMs / 16 channels) and the five compute-bound ones stay below it, and
+(c) Figure 2/3-style scaling shapes emerge from the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.kernel import Application, Kernel
+from repro.gpu.llc import HitRateCurve
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 2 row plus calibrated profile parameters.
+
+    ``mpki``, ``num_kernels`` and ``footprint_mb`` are the published
+    values; ``ipc_per_sm`` (thread-level, <= 64) and ``llc_hit_rate`` are
+    our calibration (see module docstring).
+    """
+
+    name: str
+    abbr: str
+    suite: str
+    mpki: float
+    num_kernels: int
+    footprint_mb: int
+    ipc_per_sm: float
+    llc_hit_rate: float
+
+    @property
+    def apki_llc(self) -> float:
+        """LLC accesses per kilo-instruction implied by MPKI and hit rate."""
+        miss = 1.0 - self.llc_hit_rate
+        if miss <= 0:
+            raise ConfigError(f"{self.abbr}: hit rate of 1.0 leaves APKI undefined")
+        return self.mpki / miss
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_mb * MB
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.abbr in MEMORY_BOUND_ABBRS
+
+
+#: Table 2, in the paper's row order.  The first ten rows are the
+#: memory-bound class, the last five the compute-bound class (10 x 5 = 50
+#: heterogeneous pairs, C(10,2) + C(5,2) = 55 homogeneous pairs: the
+#: paper's 105 two-program workloads).
+TABLE2: List[BenchmarkSpec] = [
+    # Memory-bound class: a mix of DRAM-streaming kernels (low hit rate,
+    # high miss traffic: PVC, LBM, LAVAMD, EULER3D) and cache-thrashing
+    # kernels whose heavy LLC access streams saturate LLC bandwidth even
+    # though most accesses hit (BH, CONVS, SRAD) — both flavours exceed
+    # Equation 2's supply at the even partition.
+    BenchmarkSpec("Page View Count", "PVC", "Mars", 4.79, 1, 3810, 64.0, 0.25),
+    BenchmarkSpec("Lattice-Boltzmann Method", "LBM", "Parboil", 6.09, 3, 389, 60.0, 0.20),
+    BenchmarkSpec("BlackScholes", "BH", "CUDA SDK", 1.54, 14, 48, 62.0, 0.90),
+    BenchmarkSpec("DWT2D", "DWT2D", "Rodinia", 2.72, 1, 301, 58.0, 0.60),
+    BenchmarkSpec("EULER3D", "EULER3D", "Rodinia", 4.39, 7, 286, 56.0, 0.28),
+    BenchmarkSpec("FastWalshTransform", "FWT", "CUDA SDK", 2.23, 4, 269, 60.0, 0.75),
+    BenchmarkSpec("Lavamd", "LAVAMD", "Rodinia", 10.45, 1, 123, 52.0, 0.15),
+    BenchmarkSpec("Streamcluster", "SC", "Rodinia", 3.42, 2, 302, 58.0, 0.50),
+    BenchmarkSpec("Convolution Separable", "CONVS", "CUDA SDK", 1.14, 4, 151, 64.0, 0.90),
+    BenchmarkSpec("Srad_v2", "SRAD", "Rodinia", 1.09, 1, 1048, 64.0, 0.90),
+    # Compute-bound class: near-zero MPKI and modest LLC access streams —
+    # their demand stays under supply until the channel count gets small
+    # (the Figure 2a left-edge knee around 4-8 channels).
+    BenchmarkSpec("DXTC", "DXTC", "CUDA SDK", 0.0004, 2, 20, 64.0, 0.99966),
+    BenchmarkSpec("HOTSPOT", "HOTSPOT", "Rodinia", 0.08, 1, 130, 60.0, 0.936),
+    BenchmarkSpec("PATHFINDER", "PF", "Rodinia", 0.06, 5, 792, 58.0, 0.94),
+    BenchmarkSpec("Coulombic Potential", "CP", "Parboil", 0.02, 1, 40, 64.0, 0.974),
+    BenchmarkSpec("MRI-Q", "MRI-Q", "Parboil", 0.01, 3, 50, 64.0, 0.983),
+]
+
+MEMORY_BOUND_ABBRS = frozenset(
+    s.abbr for s in TABLE2[:10]
+)
+COMPUTE_BOUND_ABBRS = frozenset(
+    s.abbr for s in TABLE2[10:]
+)
+
+_CATALOG: Dict[str, BenchmarkSpec] = {s.abbr: s for s in TABLE2}
+
+
+def catalog() -> Dict[str, BenchmarkSpec]:
+    """Benchmark specs keyed by abbreviation."""
+    return dict(_CATALOG)
+
+
+def spec_for(abbr: str) -> BenchmarkSpec:
+    """Look up one benchmark; raises :class:`ConfigError` if unknown."""
+    try:
+        return _CATALOG[abbr]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {abbr!r}; known: {sorted(_CATALOG)}"
+        ) from None
+
+
+def _kernel_variation(index: int, num_kernels: int) -> Tuple[float, float]:
+    """Deterministic per-kernel (intensity, length) variation.
+
+    Multi-kernel benchmarks mix heavier and lighter kernels around the
+    application mean; single-kernel benchmarks get exactly the mean.  The
+    pattern is a fixed +-20% triangle wave so results are reproducible
+    without any random source.
+    """
+    if num_kernels == 1:
+        return 1.0, 1.0
+    phase = index / (num_kernels - 1)          # 0 .. 1
+    swing = 0.35 * (2.0 * abs(phase - 0.5) * 2.0 - 1.0)  # -0.35 .. +0.35
+    return 1.0 + swing, 1.0 - swing / 2.0
+
+
+def build_application(
+    abbr: str,
+    app_id: int = 0,
+    instructions_per_kernel: int = 6_000_000_000,
+    with_hit_curve: bool = True,
+) -> Application:
+    """Instantiate a Table 2 benchmark as a runnable :class:`Application`.
+
+    Each of the benchmark's ``num_kernels`` kernels varies around the
+    published application-level profile; the aggregate MPKI matches
+    Table 2.  ``with_hit_curve`` attaches a capacity-dependent hit-rate
+    curve anchored at the full-GPU LLC (6 MB) so reduced allocations see
+    reduced hit rates.
+    """
+    spec = spec_for(abbr)
+    kernels = []
+    for index in range(spec.num_kernels):
+        intensity, length = _kernel_variation(index, spec.num_kernels)
+        curve = None
+        if with_hit_curve:
+            # GPU kernels' LLC hits come mostly from spatial locality and
+            # short-range reuse, so the hit rate is only mildly capacity
+            # sensitive: a shallow power law saturating at the full 6 MB
+            # LLC.  (A steep curve would wrongly collapse near-zero-MPKI
+            # kernels like DXTC when their slice holds few channels.)
+            curve = HitRateCurve(
+                reference_capacity=6 * MB,
+                reference_hit_rate=spec.llc_hit_rate,
+                working_set=6.0 * MB,
+                peak_hit_rate=spec.llc_hit_rate,
+                alpha=0.15,
+            )
+        kernels.append(
+            Kernel(
+                name=f"{spec.abbr}#{index}",
+                ipc_per_sm=spec.ipc_per_sm,
+                apki_llc=spec.apki_llc * intensity,
+                llc_hit_rate=spec.llc_hit_rate,
+                footprint_bytes=spec.footprint_bytes,
+                instructions=max(1, int(instructions_per_kernel * length)),
+                hit_curve=curve,
+            )
+        )
+    return Application(app_id=app_id, name=spec.abbr, kernels=kernels)

@@ -1,0 +1,132 @@
+"""Multi-program workload construction (paper Section 5).
+
+The paper builds 105 two-program workloads from the 15 Table 2 benchmarks:
+50 heterogeneous (one memory-bound x one compute-bound) and 55 homogeneous
+(same-class pairs).  For the scaling study (Section 6.5) it adds
+four-program mixes and 200 randomly selected eight-program mixes of four
+compute-bound and four memory-bound applications.
+
+All "random" selections here use an explicit LCG with a fixed default
+seed, so every bench run reproduces the same workload list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.kernel import Application
+from repro.workloads.benchmarks import (
+    COMPUTE_BOUND_ABBRS,
+    MEMORY_BOUND_ABBRS,
+    build_application,
+    spec_for,
+)
+from repro.workloads.synthetic import _lcg
+
+
+@dataclass
+class MultiProgramMix:
+    """A named multi-program workload."""
+
+    name: str
+    abbrs: Tuple[str, ...]
+    applications: List[Application] = field(default_factory=list)
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the mix contains both workload classes."""
+        classes = {spec_for(a).memory_bound for a in self.abbrs}
+        return len(classes) == 2
+
+    @property
+    def num_programs(self) -> int:
+        return len(self.abbrs)
+
+
+def _sorted_mb() -> List[str]:
+    return sorted(MEMORY_BOUND_ABBRS)
+
+
+def _sorted_cb() -> List[str]:
+    return sorted(COMPUTE_BOUND_ABBRS)
+
+
+def heterogeneous_pairs() -> List[Tuple[str, str]]:
+    """The 50 memory-bound x compute-bound pairs (memory-bound first)."""
+    return [(m, c) for m in _sorted_mb() for c in _sorted_cb()]
+
+
+def homogeneous_pairs() -> List[Tuple[str, str]]:
+    """The 55 same-class pairs: C(10,2)=45 memory + C(5,2)=10 compute."""
+    return list(combinations(_sorted_mb(), 2)) + list(combinations(_sorted_cb(), 2))
+
+
+def all_pairs() -> List[Tuple[str, str]]:
+    """All 105 two-program workloads of the paper."""
+    return heterogeneous_pairs() + homogeneous_pairs()
+
+
+def build_mix(abbrs: Sequence[str],
+              instructions_per_kernel: int = 6_000_000_000) -> MultiProgramMix:
+    """Instantiate a mix; application ids follow list order."""
+    if not abbrs:
+        raise ConfigError("a mix needs at least one benchmark")
+    apps = [
+        build_application(abbr, app_id=i,
+                          instructions_per_kernel=instructions_per_kernel)
+        for i, abbr in enumerate(abbrs)
+    ]
+    return MultiProgramMix(name="_".join(abbrs), abbrs=tuple(abbrs),
+                           applications=apps)
+
+
+def four_program_mixes(count: int = 50, seed: int = 2025) -> List[MultiProgramMix]:
+    """Four-program mixes with two memory-bound and two compute-bound
+    applications each, sampled deterministically."""
+    return _sampled_mixes(count, seed, per_class=2)
+
+
+def eight_program_mixes(count: int = 200, seed: int = 2025) -> List[MultiProgramMix]:
+    """The paper's 200 random eight-program mixes: four compute-bound and
+    four memory-bound applications each (Section 6.5)."""
+    return _sampled_mixes(count, seed, per_class=4)
+
+
+def _sampled_mixes(count: int, seed: int, per_class: int) -> List[MultiProgramMix]:
+    if count <= 0:
+        raise ConfigError("count must be positive")
+    if per_class > len(MEMORY_BOUND_ABBRS) or per_class > len(COMPUTE_BOUND_ABBRS):
+        raise ConfigError("per_class exceeds the available benchmarks")
+    rng = _lcg(seed)
+    memory, compute = _sorted_mb(), _sorted_cb()
+    mixes = []
+    seen = set()
+    while len(mixes) < count:
+        chosen_m = _sample(memory, per_class, rng)
+        chosen_c = _sample(compute, per_class, rng)
+        abbrs = tuple(chosen_m + chosen_c)
+        # Allow duplicates only after the space is exhausted.
+        if abbrs in seen and len(seen) < _space_size(per_class):
+            continue
+        seen.add(abbrs)
+        mixes.append(build_mix(abbrs))
+    return mixes
+
+
+def _sample(pool: List[str], k: int, rng) -> List[str]:
+    """Deterministic sampling without replacement."""
+    remaining = list(pool)
+    chosen = []
+    for _ in range(k):
+        index = next(rng) % len(remaining)
+        chosen.append(remaining.pop(index))
+    return sorted(chosen)
+
+
+def _space_size(per_class: int) -> int:
+    from math import comb
+
+    return comb(10, per_class) * comb(5, per_class)

@@ -1,0 +1,86 @@
+"""Synthetic workload generators.
+
+Deterministic trace and kernel builders used by tests and calibration —
+no global random state: generators that need pseudo-randomness use an
+explicit linear congruential generator seeded by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import ConfigError
+from repro.gpu.kernel import Kernel
+
+
+def _lcg(seed: int) -> Iterator[int]:
+    """Numerical-Recipes LCG; deterministic and dependency-free."""
+    state = seed & 0xFFFFFFFF
+    while True:
+        state = (1664525 * state + 1013904223) & 0xFFFFFFFF
+        yield state
+
+
+def streaming_trace(num_lines: int, line_bytes: int = 128,
+                    start: int = 0) -> List[int]:
+    """Sequential one-touch addresses: worst case for any cache."""
+    if num_lines < 0:
+        raise ConfigError("num_lines must be non-negative")
+    return [start + i * line_bytes for i in range(num_lines)]
+
+
+def strided_trace(num_accesses: int, stride_bytes: int,
+                  wrap_bytes: int, line_bytes: int = 128) -> List[int]:
+    """Strided access over a circular ``wrap_bytes`` region."""
+    if stride_bytes <= 0 or wrap_bytes <= 0:
+        raise ConfigError("stride and wrap must be positive")
+    return [(i * stride_bytes) % wrap_bytes for i in range(num_accesses)]
+
+
+def hotset_trace(num_accesses: int, hot_bytes: int, cold_bytes: int,
+                 hot_fraction: float = 0.9, line_bytes: int = 128,
+                 seed: int = 1) -> List[int]:
+    """A hot working set absorbing ``hot_fraction`` of accesses, the rest
+    scattered over a cold region placed above it."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigError("hot_fraction must be in [0, 1]")
+    if hot_bytes <= 0 or cold_bytes <= 0:
+        raise ConfigError("region sizes must be positive")
+    rng = _lcg(seed)
+    hot_lines = max(1, hot_bytes // line_bytes)
+    cold_lines = max(1, cold_bytes // line_bytes)
+    trace = []
+    threshold = int(hot_fraction * 2**32)
+    for _ in range(num_accesses):
+        pick = next(rng)
+        if pick < threshold:
+            trace.append((pick % hot_lines) * line_bytes)
+        else:
+            trace.append(hot_bytes + (pick % cold_lines) * line_bytes)
+    return trace
+
+
+def synthetic_kernel(
+    name: str = "synthetic",
+    intensity: float = 0.5,
+    footprint_mb: int = 256,
+    instructions: int = 50_000_000,
+) -> Kernel:
+    """Build a kernel on a compute<->memory intensity dial.
+
+    ``intensity`` = 0 is a pure-compute kernel (near-zero APKI, perfect
+    hits); 1 is a pure-streaming kernel (high APKI, no reuse).  Useful for
+    sweeping the classification boundary in tests and ablations.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ConfigError("intensity must be in [0, 1]")
+    apki = 0.05 + intensity * 12.0
+    hit = 0.995 - intensity * 0.85
+    return Kernel(
+        name=name,
+        ipc_per_sm=64.0 - intensity * 12.0,
+        apki_llc=apki,
+        llc_hit_rate=hit,
+        footprint_bytes=footprint_mb * 1024 * 1024,
+        instructions=instructions,
+    )

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_prints_all_benchmarks(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("PVC", "DXTC", "LAVAMD", "MRI-Q"):
+            assert abbr in out
+        assert out.count("memory") == 10
+        assert out.count("compute") == 5
+
+
+class TestRun:
+    def test_run_single_policy(self, capsys):
+        assert main(["run", "--mix", "PVC,DXTC", "--policy", "ugpu",
+                     "--cycles", "10000000"]) == 0
+        out = capsys.readouterr().out
+        assert "ugpu" in out
+        assert "PVC=" in out and "DXTC=" in out
+
+    def test_run_multiple_policies(self, capsys):
+        assert main(["run", "--mix", "PVC,DXTC", "--policy", "bp", "ugpu",
+                     "--cycles", "10000000"]) == 0
+        out = capsys.readouterr().out
+        assert "bp" in out and "ugpu" in out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mix", "PVC,DXTC", "--policy", "nonsense"])
+
+    def test_missing_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
+class TestSweepAndQoS:
+    def test_sweep_reports_gain(self, capsys):
+        assert main(["sweep", "--policies", "bp", "ugpu",
+                     "--cycles", "5000000"]) == 0
+        out = capsys.readouterr().out
+        assert "ugpu vs bp:" in out
+        assert "STP mean" in out
+
+    def test_qos_scenario(self, capsys):
+        assert main(["qos", "--mix", "PVC,DXTC", "--target", "0.75",
+                     "--cycles", "10000000"]) == 0
+        out = capsys.readouterr().out
+        assert "UGPU" in out and "MPS" in out
+        assert "meets" in out or "VIOLATES" in out
+
+    def test_qos_requires_two_benchmarks(self, capsys):
+        assert main(["qos", "--mix", "PVC", "--cycles", "5000000"]) == 2
+
+
+class TestExport:
+    def test_fig2_csv_to_stdout(self, capsys):
+        assert main(["export", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,x,normalized_perf")
+        assert "vs_channels" in out and "vs_sms" in out
+
+    def test_fig4_csv_to_file(self, tmp_path, capsys):
+        path = tmp_path / "fig4.csv"
+        assert main(["export", "fig4", "--output", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "pvc_sms,pvc_channels,stp"
+        assert len(lines) > 50
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["export", "fig99"])

@@ -1,0 +1,106 @@
+"""Tests for the multi-GPU cluster extension (repro.cluster)."""
+
+import pytest
+
+from repro import BPSystem, UGPUSystem, build_application
+from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
+from repro.errors import AllocationError
+
+
+def jobs(*abbrs):
+    return [build_application(a, app_id=i) for i, a in enumerate(abbrs)]
+
+
+class TestGPUNode:
+    def test_tenant_cap(self):
+        node = GPUNode(0, max_tenants=2)
+        node.place(jobs("PVC")[0])
+        node.place(jobs("DXTC")[0])
+        assert node.free_slots == 0
+        with pytest.raises(AllocationError):
+            node.place(jobs("CP")[0])
+
+    def test_idle_node_result(self):
+        result = GPUNode(0).run()
+        assert result.result is None
+        assert result.stp == 0.0
+
+    def test_single_tenant_gets_whole_gpu(self):
+        node = GPUNode(0)
+        node.place(jobs("PVC")[0])
+        result = node.run()
+        assert result.stp == pytest.approx(1.0, abs=0.05)
+
+    def test_two_tenants_run_under_policy(self):
+        node = GPUNode(0)
+        for job in jobs("PVC", "DXTC"):
+            node.place(job)
+        ugpu = node.run(UGPUSystem)
+        node2 = GPUNode(0)
+        for job in jobs("PVC", "DXTC"):
+            node2.place(job)
+        bp = node2.run(BPSystem)
+        assert ugpu.stp > bp.stp
+        assert ugpu.tenants == ["PVC", "DXTC"]
+
+    def test_invalid_cap(self):
+        with pytest.raises(AllocationError):
+            GPUNode(0, max_tenants=0)
+
+
+class TestClusterScheduler:
+    def test_capacity(self):
+        cluster = ClusterScheduler(num_nodes=3, tenants_per_node=2)
+        assert cluster.capacity == 6
+
+    def test_over_capacity_rejected(self):
+        cluster = ClusterScheduler(num_nodes=1, tenants_per_node=2)
+        with pytest.raises(AllocationError):
+            cluster.place(jobs("PVC", "DXTC", "CP"))
+
+    def test_first_fit_fills_breadth_first(self):
+        cluster = ClusterScheduler(num_nodes=2, tenants_per_node=2)
+        cluster.place(jobs("PVC", "LBM", "DXTC", "CP"),
+                      policy=PlacementPolicy.FIRST_FIT)
+        # Breadth-first: first two jobs spread over both nodes.
+        assert [t.name for t in cluster.nodes[0].tenants] == ["PVC", "DXTC"]
+        assert [t.name for t in cluster.nodes[1].tenants] == ["LBM", "CP"]
+
+    def test_demand_aware_pairs_classes(self):
+        cluster = ClusterScheduler(num_nodes=2, tenants_per_node=2)
+        cluster.place(jobs("PVC", "LBM", "DXTC", "CP"),
+                      policy=PlacementPolicy.DEMAND_AWARE)
+        for node in cluster.nodes:
+            classes = {cluster._is_memory_bound(t) for t in node.tenants}
+            assert classes == {True, False}  # one of each
+
+    def test_demand_aware_beats_class_blind_packing(self):
+        """The cloud argument: pairing complementary tenants gives every
+        node reallocation room, raising cluster throughput."""
+        job_list = ["PVC", "DXTC", "LBM", "CP"]
+
+        # Adversarial class-blind placement: same-class tenants together.
+        blind = ClusterScheduler(num_nodes=2, tenants_per_node=2)
+        blind.nodes[0].place(build_application("PVC"))
+        blind.nodes[0].place(build_application("LBM"))
+        blind.nodes[1].place(build_application("DXTC"))
+        blind.nodes[1].place(build_application("CP"))
+        blind_result = blind.run(UGPUSystem)
+
+        aware = ClusterScheduler(num_nodes=2, tenants_per_node=2)
+        aware_result = aware.schedule_and_run(
+            jobs(*job_list), placement=PlacementPolicy.DEMAND_AWARE
+        )
+        assert aware_result.cluster_stp > blind_result.cluster_stp
+
+    def test_cluster_result_summary(self):
+        cluster = ClusterScheduler(num_nodes=2, tenants_per_node=2)
+        result = cluster.schedule_and_run(jobs("PVC", "DXTC"))
+        assert result.busy_nodes >= 1
+        summary = result.per_node_summary()
+        assert len(summary) == 2
+        assert any("PVC" in row[1] for row in summary)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(AllocationError):
+            ClusterScheduler(num_nodes=0)

@@ -1,0 +1,191 @@
+"""Unit tests for the demand-aware partitioner (repro.core.partitioner)
+and the hardware cost model (repro.core.hardware_cost)."""
+
+import pytest
+
+from repro.core import (
+    AlgorithmCostModel,
+    AppProfile,
+    DemandAwarePartitioner,
+    EpochProfiler,
+    PartitionState,
+    ResourceAllocation,
+)
+from repro.errors import AllocationError, ConfigError
+from repro.gpu import GPUConfig
+
+
+def make_profile(app_id, apki, hit, ipc_max=64.0, footprint=0,
+                 config=GPUConfig()):
+    profiler = EpochProfiler(config)
+    return AppProfile(
+        app_id=app_id,
+        ipc_max_per_sm=ipc_max,
+        apki_llc=apki,
+        llc_hit_rate=hit,
+        bw_demand_per_sm=profiler.bw_demand_per_sm(ipc_max, apki),
+        bw_supply_per_mc=profiler.bw_supply_per_mc(hit),
+        footprint_bytes=footprint,
+    )
+
+
+def memory_profile(app_id=0, **kw):
+    """PVC-like: strongly memory-bound at the even partition."""
+    return make_profile(app_id, apki=6.4, hit=0.25, **kw)
+
+
+def compute_profile(app_id=1, **kw):
+    """DXTC-like: strongly compute-bound."""
+    return make_profile(app_id, apki=1.2, hit=0.9997, **kw)
+
+
+@pytest.fixture
+def state():
+    return PartitionState.even([0, 1])
+
+
+@pytest.fixture
+def partitioner(state):
+    return DemandAwarePartitioner(state, gpu_config=GPUConfig())
+
+
+class TestClassification:
+    def test_ratio_boundary(self, partitioner):
+        mem = memory_profile()
+        cb = compute_profile()
+        even = ResourceAllocation(40, 16)
+        assert partitioner.demand_ratio(mem, even) > 1.0
+        assert partitioner.demand_ratio(cb, even) < 1.0
+
+    def test_capacity_pressure_forces_memory_bound(self, state):
+        partitioner = DemandAwarePartitioner(
+            state, memory_capacity_bytes=16 << 30, gpu_config=GPUConfig()
+        )
+        # A compute-bound profile whose working set exceeds its share.
+        hog = compute_profile(footprint=10 << 30)  # 10 GiB > 16 channels' 8 GiB
+        assert partitioner.demand_ratio(hog, ResourceAllocation(40, 16)) > 1.0
+        # With enough channels the pressure lifts.
+        assert partitioner.demand_ratio(hog, ResourceAllocation(40, 24)) < 1.0
+
+
+class TestRedistribution:
+    def test_moves_sms_to_compute_bound_and_channels_to_memory_bound(self, partitioner):
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        mem, cb = decision.allocations[0], decision.allocations[1]
+        assert mem.sms < 40 and cb.sms > 40
+        assert mem.channels > 16 and cb.channels < 16
+        assert decision.iterations > 0
+        assert decision.changed_from({0: ResourceAllocation(40, 16),
+                                      1: ResourceAllocation(40, 16)})
+
+    def test_budget_conserved(self, partitioner):
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        total_sms = sum(a.sms for a in decision.allocations.values())
+        total_mcs = sum(a.channels for a in decision.allocations.values())
+        assert total_sms == 80
+        assert total_mcs == 32
+
+    def test_homogeneous_mix_does_not_move(self, partitioner):
+        decision = partitioner.compute({0: memory_profile(0), 1: memory_profile(1)})
+        assert decision.allocations[0] == ResourceAllocation(40, 16)
+        assert decision.iterations == 0
+
+    def test_compute_pair_does_not_move(self, partitioner):
+        decision = partitioner.compute({0: compute_profile(0), 1: compute_profile(1)})
+        assert decision.allocations[0] == ResourceAllocation(40, 16)
+
+    def test_memory_donor_keeps_saturating_sms(self, partitioner):
+        """The utilization guard: the memory-bound app keeps enough SMs to
+        draw its supplied bandwidth."""
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        mem = decision.allocations[0]
+        cfg = GPUConfig()
+        draw = cfg.draw_bytes_per_cycle(mem.sms, mem.channels, 0.25)
+        supply = memory_profile(0).supply(mem.channels)
+        assert draw >= supply * 0.95
+
+    def test_compute_donor_keeps_demand_satisfied(self, partitioner):
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        cb = decision.allocations[1]
+        profile = compute_profile(1)
+        assert profile.demand(cb.sms) <= profile.supply(cb.channels)
+
+    def test_iteration_cap(self, state):
+        partitioner = DemandAwarePartitioner(state, max_iterations=1,
+                                             gpu_config=GPUConfig())
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        assert decision.iterations == 1
+
+    def test_channel_moves_stay_group_aligned(self, partitioner):
+        decision = partitioner.compute({0: memory_profile(0), 1: compute_profile(1)})
+        for alloc in decision.allocations.values():
+            assert alloc.channels % 4 == 0
+
+    def test_four_apps(self):
+        state = PartitionState.even([0, 1, 2, 3])
+        partitioner = DemandAwarePartitioner(state, gpu_config=GPUConfig())
+        profiles = {
+            0: memory_profile(0),
+            1: make_profile(1, apki=10.0, hit=0.2),   # even more memory-bound
+            2: compute_profile(2),
+            3: make_profile(3, apki=0.8, hit=0.99),
+        }
+        decision = partitioner.compute(profiles)
+        assert sum(a.sms for a in decision.allocations.values()) == 80
+        assert sum(a.channels for a in decision.allocations.values()) == 32
+        # Memory-bound apps net-gained channels, compute-bound gained SMs.
+        assert (decision.allocations[0].channels
+                + decision.allocations[1].channels) > 16
+        assert (decision.allocations[2].sms
+                + decision.allocations[3].sms) > 40
+
+    def test_missing_slice_rejected(self, partitioner):
+        with pytest.raises(AllocationError):
+            partitioner.compute({7: memory_profile(7)})
+
+    def test_empty_profiles_rejected(self, partitioner):
+        with pytest.raises(AllocationError):
+            partitioner.compute({})
+
+    def test_invalid_steps_rejected(self, state):
+        with pytest.raises(ConfigError):
+            DemandAwarePartitioner(state, sm_step=0)
+        with pytest.raises(ConfigError):
+            DemandAwarePartitioner(state, mc_step=6)
+        with pytest.raises(ConfigError):
+            DemandAwarePartitioner(state, max_iterations=0)
+
+
+class TestAlgorithmCostModel:
+    """The paper's Section 3.3 numbers, reproduced exactly."""
+
+    def test_demand_calc_is_148_cycles_for_4_apps(self):
+        assert AlgorithmCostModel().demand_calc_cycles(4) == 148
+
+    def test_iteration_is_162_cycles_for_4_apps(self):
+        assert AlgorithmCostModel().iteration_cycles(4) == 162
+
+    def test_max_latency_is_3388_cycles(self):
+        assert AlgorithmCostModel().max_latency_cycles(4) == 3388
+
+    def test_total_caps_iterations_at_20(self):
+        model = AlgorithmCostModel()
+        assert model.total_cycles(50, 4) == model.max_latency_cycles(4)
+
+    def test_hidden_by_5m_epoch(self):
+        assert AlgorithmCostModel().hidden_by_epoch(5_000_000)
+        assert not AlgorithmCostModel().hidden_by_epoch(3000)
+
+    def test_scales_with_app_count(self):
+        model = AlgorithmCostModel()
+        assert model.demand_calc_cycles(8) == 2 * model.demand_calc_cycles(4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AlgorithmCostModel(divide_cycles=0)
+        with pytest.raises(ConfigError):
+            AlgorithmCostModel().total_cycles(-1)
+        with pytest.raises(ConfigError):
+            AlgorithmCostModel().demand_calc_cycles(0)
+        with pytest.raises(ConfigError):
+            AlgorithmCostModel().hidden_by_epoch(0)

@@ -1,0 +1,100 @@
+"""Unit tests for the epoch profiler and Equations 1-2
+(repro.core.profiler)."""
+
+import pytest
+
+from repro.core import EpochProfiler
+from repro.errors import ConfigError
+from repro.gpu import GPUConfig, Kernel, PerformanceModel
+
+
+@pytest.fixture
+def config():
+    return GPUConfig()
+
+
+@pytest.fixture
+def profiler(config):
+    return EpochProfiler(config)
+
+
+def kernel(apki=6.4, hit=0.25, ipc=64.0):
+    return Kernel("k", ipc_per_sm=ipc, apki_llc=apki, llc_hit_rate=hit,
+                  footprint_bytes=1 << 30)
+
+
+class TestEquations:
+    def test_equation1_demand_per_sm(self, profiler):
+        # BW_SM = IPC_max * APKI/1000 * line: 64 * 6.4/1000 * 128.
+        demand = profiler.bw_demand_per_sm(ipc_max_per_sm=64.0, apki_llc=6.4)
+        assert demand == pytest.approx(64 * 6.4 / 1000 * 128)
+
+    def test_equation2_supply_hit_and_miss_parts(self, profiler, config):
+        llc_ch = (config.llc_slices_per_channel
+                  * config.llc_slice_bandwidth_bytes_per_cycle())
+        mem_ch = config.channel_bandwidth_bytes_per_cycle()
+        # Low hit rate: miss stream capped by DRAM bandwidth.
+        supply = profiler.bw_supply_per_mc(llc_hit_rate=0.25)
+        assert supply == pytest.approx(0.25 * llc_ch + mem_ch)
+        # High hit rate: miss stream below DRAM bandwidth.
+        supply = profiler.bw_supply_per_mc(llc_hit_rate=0.9)
+        assert supply == pytest.approx(0.9 * llc_ch + 0.1 * llc_ch)
+
+    def test_supply_monotone_in_hit_rate(self, profiler):
+        supplies = [profiler.bw_supply_per_mc(h) for h in (0.0, 0.3, 0.7, 1.0)]
+        assert supplies == sorted(supplies)
+
+
+class TestProfileLifecycle:
+    def test_track_required(self, profiler):
+        with pytest.raises(ConfigError):
+            profiler.profile(0)
+        with pytest.raises(ConfigError):
+            profiler.bank(0)
+
+    def test_invalid_ipc_max(self, profiler):
+        with pytest.raises(ConfigError):
+            profiler.track(0, ipc_max_per_sm=0)
+
+    def test_observe_and_profile_roundtrip(self, profiler, config):
+        """Counters fed from a throughput record recover APKI and hit rate."""
+        profiler.track(0, ipc_max_per_sm=64.0, footprint_bytes=123)
+        model = PerformanceModel(config)
+        k = kernel()
+        t = model.throughput(k, 40, 16)
+        profiler.observe_epoch(0, t, effective_cycles=5_000_000)
+        profile = profiler.profile(0)
+        assert profile.apki_llc == pytest.approx(k.apki_llc, rel=0.02)
+        assert profile.llc_hit_rate == pytest.approx(t.llc_hit_rate, abs=0.02)
+        assert profile.footprint_bytes == 123
+
+    def test_profile_resets_counters(self, profiler, config):
+        profiler.track(0, ipc_max_per_sm=64.0)
+        t = PerformanceModel(config).throughput(kernel(), 40, 16)
+        profiler.observe_epoch(0, t, effective_cycles=1_000_000)
+        profiler.profile(0)
+        empty = profiler.profile(0)
+        assert empty.apki_llc == 0.0
+
+    def test_negative_cycles_rejected(self, profiler, config):
+        profiler.track(0, ipc_max_per_sm=64.0)
+        t = PerformanceModel(config).throughput(kernel(), 40, 16)
+        with pytest.raises(ConfigError):
+            profiler.observe_epoch(0, t, effective_cycles=-1)
+
+
+class TestAppProfile:
+    def test_demand_supply_ratio(self, profiler, config):
+        profiler.track(0, ipc_max_per_sm=64.0)
+        t = PerformanceModel(config).throughput(kernel(), 40, 16)
+        profiler.observe_epoch(0, t, effective_cycles=5_000_000)
+        profile = profiler.profile(0)
+        # A PVC-like kernel at the even partition is memory-bound.
+        assert profile.demand_supply_ratio(40, 16) > 1.0
+        # With many channels and few SMs it flips.
+        assert profile.demand_supply_ratio(8, 32) < 1.0
+
+    def test_zero_supply_ratio(self, profiler):
+        profiler.track(0, ipc_max_per_sm=64.0)
+        profile = profiler.profile(0)
+        assert profile.demand_supply_ratio(40, 16) == 0.0

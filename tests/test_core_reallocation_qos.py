@@ -1,0 +1,125 @@
+"""Unit tests for SM reallocation (repro.core.reallocation) and QoS
+estimation (repro.core.qos)."""
+
+import pytest
+
+from repro.core import ResourceAllocation, SMPolicy, SMReallocator
+from repro.core.profiler import EpochProfiler
+from repro.core.profiler import AppProfile
+from repro.core.qos import QoSTarget, estimated_ipc, estimated_np, meets_target
+from repro.errors import ConfigError, QoSError
+from repro.gpu import GPUConfig
+
+
+@pytest.fixture
+def reallocator():
+    return SMReallocator(GPUConfig())
+
+
+class TestPolicyChoice:
+    def test_drain_when_tb_fits_in_epoch(self, reallocator):
+        assert reallocator.choose_policy(200_000, 5_000_000) is SMPolicy.DRAIN
+
+    def test_switch_when_tb_exceeds_epoch(self, reallocator):
+        assert reallocator.choose_policy(9_000_000, 5_000_000) is SMPolicy.SWITCH
+
+    def test_invalid_durations(self, reallocator):
+        with pytest.raises(ConfigError):
+            reallocator.choose_policy(-1, 5_000_000)
+        with pytest.raises(ConfigError):
+            reallocator.choose_policy(100, 0)
+
+
+class TestCosts:
+    def test_drain_cost_is_half_a_block(self, reallocator):
+        charge = reallocator.drain_cost(8, tb_duration_cycles=200_000)
+        assert charge.cycles == 100_000
+        assert charge.dram_bytes == 0
+        assert charge.policy is SMPolicy.DRAIN
+
+    def test_switch_cost_scales_with_sms_and_bandwidth(self, reallocator):
+        fixed = reallocator.switch_fixed_cycles
+        few = reallocator.switch_cost(4, channels_available=16)
+        many = reallocator.switch_cost(8, channels_available=16)
+        assert many.cycles - fixed == pytest.approx(2 * (few.cycles - fixed))
+        wide = reallocator.switch_cost(4, channels_available=32)
+        assert wide.cycles - fixed == pytest.approx((few.cycles - fixed) / 2)
+
+    def test_switch_moves_context_twice(self, reallocator):
+        charge = reallocator.switch_cost(1, channels_available=16)
+        assert charge.dram_bytes == 2 * reallocator.context_bytes_per_sm
+
+    def test_adaptive_cost_picks_policy(self, reallocator):
+        drain = reallocator.cost(4, 100_000, 5_000_000, 16)
+        assert drain.policy is SMPolicy.DRAIN
+        switch = reallocator.cost(4, 10_000_000, 5_000_000, 16)
+        assert switch.policy is SMPolicy.SWITCH
+
+    def test_zero_sms_is_free(self, reallocator):
+        charge = reallocator.cost(0, 100_000, 5_000_000, 16)
+        assert charge.cycles == 0.0
+
+    def test_validation(self, reallocator):
+        with pytest.raises(ConfigError):
+            reallocator.switch_cost(4, channels_available=0)
+        with pytest.raises(ConfigError):
+            reallocator.drain_cost(-1, 100)
+        with pytest.raises(ConfigError):
+            SMReallocator(GPUConfig(), context_bytes_per_sm=0)
+
+
+def make_profile(apki, hit, ipc_max=64.0):
+    config = GPUConfig()
+    profiler = EpochProfiler(config)
+    return AppProfile(
+        app_id=0,
+        ipc_max_per_sm=ipc_max,
+        apki_llc=apki,
+        llc_hit_rate=hit,
+        bw_demand_per_sm=profiler.bw_demand_per_sm(ipc_max, apki),
+        bw_supply_per_mc=profiler.bw_supply_per_mc(hit),
+    )
+
+
+class TestQoS:
+    def test_target_validation(self):
+        QoSTarget(0, 0.75)
+        with pytest.raises(QoSError):
+            QoSTarget(0, 0.0)
+        with pytest.raises(QoSError):
+            QoSTarget(0, 1.5)
+
+    def test_full_gpu_np_is_one(self):
+        config = GPUConfig()
+        profile = make_profile(apki=1.2, hit=0.9997)
+        np_value = estimated_np(
+            profile, ResourceAllocation(80, 32), config
+        )
+        assert np_value == pytest.approx(1.0)
+
+    def test_compute_bound_np_tracks_sm_share(self):
+        config = GPUConfig()
+        profile = make_profile(apki=1.2, hit=0.9997)
+        assert estimated_np(profile, ResourceAllocation(60, 16), config) == (
+            pytest.approx(0.75)
+        )
+
+    def test_memory_bound_np_tracks_channel_share(self):
+        config = GPUConfig()
+        profile = make_profile(apki=6.4, hit=0.25)
+        np24 = estimated_np(profile, ResourceAllocation(40, 24), config)
+        np16 = estimated_np(profile, ResourceAllocation(40, 16), config)
+        assert np24 > np16
+
+    def test_meets_target(self):
+        config = GPUConfig()
+        profile = make_profile(apki=1.2, hit=0.9997)
+        target = QoSTarget(0, 0.75)
+        assert meets_target(profile, ResourceAllocation(60, 16), config, target)
+        assert not meets_target(profile, ResourceAllocation(40, 16), config, target)
+
+    def test_zero_traffic_app_is_compute_only(self):
+        config = GPUConfig()
+        profile = make_profile(apki=0.0, hit=0.5)
+        ipc = estimated_ipc(profile, ResourceAllocation(40, 16), config)
+        assert ipc == pytest.approx(40 * 64.0)

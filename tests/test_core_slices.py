@@ -1,0 +1,119 @@
+"""Unit tests for GPU slices and partition state (repro.core.slices)."""
+
+import pytest
+
+from repro.core import GPUSlice, PartitionState, ResourceAllocation
+from repro.errors import AllocationError
+
+
+class TestResourceAllocation:
+    def test_move(self):
+        alloc = ResourceAllocation(40, 16)
+        moved = alloc.move(d_sms=4, d_channels=-4)
+        assert (moved.sms, moved.channels) == (44, 12)
+        assert (alloc.sms, alloc.channels) == (40, 16)  # immutable
+
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            ResourceAllocation(-1, 16)
+        with pytest.raises(AllocationError):
+            ResourceAllocation(40, 16).move(d_channels=-17)
+
+
+class TestGPUSlice:
+    def test_balanced_detection(self):
+        assert GPUSlice(0, ResourceAllocation(40, 16)).balanced
+        assert GPUSlice(0, ResourceAllocation(80, 32)).balanced
+        assert not GPUSlice(0, ResourceAllocation(60, 8)).balanced
+
+
+class TestPartitionState:
+    def test_even_partition_two_apps(self):
+        state = PartitionState.even([0, 1])
+        assert state.allocation(0) == ResourceAllocation(40, 16)
+        assert state.allocation(1) == ResourceAllocation(40, 16)
+        assert state.free_sms == 0
+        assert state.free_channels == 0
+
+    def test_even_partition_four_apps(self):
+        state = PartitionState.even([0, 1, 2, 3])
+        assert state.allocation(2) == ResourceAllocation(20, 8)
+
+    def test_even_partition_rounds_channels_to_group(self):
+        # Three apps: 32/3 = 10 -> rounded down to 8 (multiple of 4).
+        state = PartitionState.even([0, 1, 2])
+        assert state.allocation(0).channels == 8
+        assert state.free_channels == 8
+
+    def test_too_many_apps_rejected(self):
+        with pytest.raises(AllocationError):
+            PartitionState.even(list(range(16)))
+
+    def test_budget_enforced(self):
+        state = PartitionState.even([0, 1])
+        with pytest.raises(AllocationError):
+            state.assign(0, ResourceAllocation(44, 16))  # 44+40 > 80
+
+    def test_channel_group_alignment_enforced(self):
+        state = PartitionState()
+        with pytest.raises(AllocationError):
+            state.assign(0, ResourceAllocation(40, 14))
+
+    def test_minimums_enforced(self):
+        state = PartitionState()
+        with pytest.raises(AllocationError):
+            state.assign(0, ResourceAllocation(2, 8))
+        with pytest.raises(AllocationError):
+            state.assign(0, ResourceAllocation(8, 0))
+
+    def test_assign_all_atomic(self):
+        state = PartitionState.even([0, 1])
+        new = {
+            0: ResourceAllocation(60, 24),
+            1: ResourceAllocation(20, 8),
+        }
+        state.assign_all(new)
+        assert state.allocations() == new
+
+    def test_assign_all_rejects_over_budget(self):
+        state = PartitionState()
+        with pytest.raises(AllocationError):
+            state.assign_all({
+                0: ResourceAllocation(60, 24),
+                1: ResourceAllocation(40, 8),
+            })
+
+    def test_unknown_app_lookup(self):
+        with pytest.raises(AllocationError):
+            PartitionState().allocation(7)
+
+    def test_slices_view(self):
+        state = PartitionState.even([0, 1])
+        slices = state.slices()
+        assert slices[0].balanced and slices[1].balanced
+
+    def test_reassign_same_app_replaces(self):
+        state = PartitionState.even([0, 1])
+        # Shrink one slice first, then grow the other into the freed space.
+        state.assign(1, ResourceAllocation(36, 12))
+        state.assign(0, ResourceAllocation(44, 20))
+        assert state.used_sms == 80
+        assert state.used_channels == 32
+
+    def test_transiently_over_budget_single_assign_rejected(self):
+        # Growing a slice before its donor shrank must fail: assign() is
+        # budget-checked against the *current* partition.
+        state = PartitionState.even([0, 1])
+        with pytest.raises(AllocationError):
+            state.assign(0, ResourceAllocation(44, 20))
+        # The atomic path handles the same exchange fine.
+        state.assign_all({
+            0: ResourceAllocation(44, 20),
+            1: ResourceAllocation(36, 12),
+        })
+
+    def test_invalid_geometry(self):
+        with pytest.raises(AllocationError):
+            PartitionState(total_channels=30, channel_group=4)
+        with pytest.raises(AllocationError):
+            PartitionState(min_channels=6, channel_group=4)

@@ -1,0 +1,110 @@
+"""Unit tests for GPU configuration and SM models (repro.gpu.config/sm)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GPUConfig, OccupancyLimits, StreamingMultiprocessor, occupancy
+
+
+class TestGPUConfig:
+    def test_table1_defaults_validate(self):
+        GPUConfig().validate()
+
+    def test_table1_headline_numbers(self):
+        cfg = GPUConfig()
+        assert cfg.num_sms == 80
+        assert cfg.num_channels == 32
+        assert cfg.llc_size == 6 * 1024 * 1024
+        assert cfg.llc_slices == 64
+        assert cfg.llc_slices_per_channel == 2
+        assert cfg.hbm.total_bandwidth_gbps == 900.0
+
+    def test_channel_bandwidth_per_gpu_cycle(self):
+        cfg = GPUConfig()
+        # 900/32 GB/s at 1.4 GHz ~ 20.1 bytes per GPU cycle per channel.
+        assert cfg.channel_bandwidth_bytes_per_cycle() == pytest.approx(
+            900 / 32 * 1e9 / 1.4e9
+        )
+
+    def test_page_fault_latency_cycles(self):
+        cfg = GPUConfig()
+        assert cfg.page_fault_latency_cycles() == pytest.approx(28_000)  # 20us @ 1.4GHz
+
+    def test_inconsistent_warp_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_threads_per_sm=1000).validate()
+
+    def test_inconsistent_llc_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(llc_sets_per_slice=50).validate()
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_sms=0).validate()
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        limits = occupancy(GPUConfig(), threads_per_block=256)
+        assert limits.blocks_by_threads == 8
+        assert limits.blocks == 8
+        assert limits.limiter == "threads"
+
+    def test_shared_memory_limited(self):
+        limits = occupancy(
+            GPUConfig(), threads_per_block=64, shared_mem_per_block=48 * 1024
+        )
+        assert limits.blocks_by_shared_memory == 2
+        assert limits.blocks == 2
+        assert limits.limiter == "shared_memory"
+
+    def test_register_limited(self):
+        limits = occupancy(
+            GPUConfig(), threads_per_block=256, registers_per_thread=128
+        )
+        assert limits.blocks_by_registers == 2
+        assert limits.limiter == "registers"
+
+    def test_block_slot_limited(self):
+        limits = occupancy(GPUConfig(), threads_per_block=32)
+        assert limits.blocks == 32
+        assert limits.limiter == "block_slots"
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ConfigError):
+            occupancy(GPUConfig(), threads_per_block=4096)
+
+    def test_nonpositive_block_rejected(self):
+        with pytest.raises(ConfigError):
+            occupancy(GPUConfig(), threads_per_block=0)
+
+
+class TestStreamingMultiprocessor:
+    def test_peak_ipc_is_scheduler_width(self):
+        sm = StreamingMultiprocessor(GPUConfig())
+        assert sm.peak_ipc() == 2.0
+
+    def test_achieved_ipc_latency_bound(self):
+        sm = StreamingMultiprocessor(GPUConfig())
+        # 8 warps each ready 10% of cycles -> 0.8 IPC.
+        assert sm.achieved_ipc(8, 0.1) == pytest.approx(0.8)
+
+    def test_achieved_ipc_saturates_at_peak(self):
+        sm = StreamingMultiprocessor(GPUConfig())
+        assert sm.achieved_ipc(64, 0.5) == 2.0
+
+    def test_invalid_inputs(self):
+        sm = StreamingMultiprocessor(GPUConfig())
+        with pytest.raises(ConfigError):
+            sm.achieved_ipc(-1, 0.5)
+        with pytest.raises(ConfigError):
+            sm.achieved_ipc(8, 1.5)
+
+    def test_retire_and_assign(self):
+        sm = StreamingMultiprocessor(GPUConfig())
+        sm.assign(3)
+        sm.retire(1000)
+        assert sm.owner == 3
+        assert sm.instructions_retired == 1000
+        with pytest.raises(ConfigError):
+            sm.retire(-1)

@@ -1,0 +1,71 @@
+"""Tests for the warp timing model (repro.gpu.warp)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GPUConfig, Kernel
+from repro.gpu.warp import WarpTimingModel
+from repro.workloads import TABLE2, build_application
+
+
+@pytest.fixture
+def model():
+    return WarpTimingModel(GPUConfig())
+
+
+def kernel(apki=0.0, hit=0.5, ipc=64.0):
+    return Kernel("k", ipc_per_sm=ipc, apki_llc=apki, llc_hit_rate=hit,
+                  footprint_bytes=0)
+
+
+class TestWarpTiming:
+    def test_pure_compute_kernel_saturates_with_two_warps(self, model):
+        t = model.timing(kernel(apki=0.0))
+        assert t.stall_cycles_per_instr == 0.0
+        assert t.warp_duty == 1.0
+        assert not t.latency_bound
+
+    def test_memory_heavy_kernel_is_latency_bound(self, model):
+        # 20 APKI at 25% hits: enormous stall time per instruction.
+        t = model.timing(kernel(apki=60.0, hit=0.25))
+        assert t.stall_cycles_per_instr > t.issue_cycles_per_instr
+        assert t.latency_bound
+
+    def test_duty_decreases_with_apki(self, model):
+        duties = [model.timing(kernel(apki=a)).warp_duty
+                  for a in (0.0, 2.0, 8.0, 20.0)]
+        assert duties == sorted(duties, reverse=True)
+
+    def test_hit_rate_shortens_stalls(self, model):
+        slow = model.timing(kernel(apki=8.0, hit=0.0))
+        fast = model.timing(kernel(apki=8.0, hit=0.95))
+        assert fast.stall_cycles_per_instr < slow.stall_cycles_per_instr
+
+
+class TestIPCDerivation:
+    def test_peak_ipc_is_64(self, model):
+        assert model.ipc_per_sm(kernel(apki=0.0)) == pytest.approx(64.0)
+
+    def test_ipc_grows_with_resident_warps(self, model):
+        k = kernel(apki=10.0, hit=0.3)
+        ipcs = [model.ipc_per_sm(k, warps) for warps in (4, 16, 64)]
+        assert ipcs == sorted(ipcs)
+
+    def test_ipc_bounded_by_peak(self, model):
+        for apki in (0.0, 1.0, 10.0):
+            assert model.ipc_per_sm(kernel(apki=apki)) <= 64.0 + 1e-9
+
+    def test_catalog_values_achievable(self, model):
+        """Every Table 2 calibration is consistent with warp-level
+        first principles at full occupancy."""
+        for spec in TABLE2:
+            k = build_application(spec.abbr, with_hit_curve=False).kernels[0]
+            assert model.validates_catalog_value(k), spec.abbr
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigError):
+            WarpTimingModel(GPUConfig(), l1_miss_rate=0.0)
+        with pytest.raises(ConfigError):
+            WarpTimingModel(GPUConfig(), mlp_per_warp=0)
+        with pytest.raises(ConfigError):
+            model.timing(kernel(), resident_warps=0)

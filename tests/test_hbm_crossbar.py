@@ -1,0 +1,125 @@
+"""Unit tests for PageMove routing hardware (repro.hbm.crossbar)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hbm import BankGroupCrossbar, TriStateDecoder
+
+
+class TestTriStateDecoder:
+    def test_default_binding_maps_bundle_to_same_die(self):
+        dec = TriStateDecoder(8)
+        for bundle in range(8):
+            assert dec.default_die(bundle) == bundle
+            assert dec.driver_of(bundle, now=0) == bundle
+
+    def test_grant_rebinds_bundle(self):
+        dec = TriStateDecoder(8, enhanced=True)
+        dec.grant(bundle=3, die=5, now=10, until=60)
+        assert dec.driver_of(3, now=20) == 5
+        assert dec.driver_of(3, now=60) == 3  # expired -> default
+
+    def test_stock_decoder_cannot_rebind(self):
+        dec = TriStateDecoder(8, enhanced=False)
+        with pytest.raises(ProtocolError):
+            dec.grant(bundle=3, die=5, now=0, until=10)
+
+    def test_stock_decoder_allows_default_grant(self):
+        dec = TriStateDecoder(8, enhanced=False)
+        dec.grant(bundle=3, die=3, now=0, until=10)
+
+    def test_overlapping_grant_rejected(self):
+        dec = TriStateDecoder(8)
+        dec.grant(3, 5, now=0, until=100)
+        with pytest.raises(ProtocolError):
+            dec.grant(3, 6, now=50, until=150)
+
+    def test_grant_after_expiry_allowed(self):
+        dec = TriStateDecoder(8)
+        dec.grant(3, 5, now=0, until=100)
+        dec.grant(3, 6, now=100, until=200)
+        assert dec.driver_of(3, 150) == 6
+
+    def test_empty_interval_rejected(self):
+        dec = TriStateDecoder(8)
+        with pytest.raises(ProtocolError):
+            dec.grant(0, 1, now=10, until=10)
+
+    def test_free_bundles(self):
+        dec = TriStateDecoder(4)
+        dec.grant(1, 2, now=0, until=100)
+        assert dec.free_bundles(now=50) == [0, 2, 3]
+        assert dec.free_bundles(now=100) == [0, 1, 2, 3]
+
+    def test_release(self):
+        dec = TriStateDecoder(4)
+        dec.grant(1, 2, now=0, until=100)
+        dec.release(1)
+        assert dec.is_free(1, now=50)
+
+    def test_bundle_bounds_checked(self):
+        dec = TriStateDecoder(4)
+        with pytest.raises(ProtocolError):
+            dec.driver_of(4, 0)
+        with pytest.raises(ProtocolError):
+            dec.grant(-1, 0, 0, 1)
+
+
+class TestBankGroupCrossbar:
+    def test_pagemove_crossbar_is_fully_connected(self):
+        xbar = BankGroupCrossbar(4, 8)
+        assert xbar.is_fully_connected
+        assert xbar.concurrent_capacity() == 4
+
+    def test_stock_crossbar_width_one(self):
+        xbar = BankGroupCrossbar(4, 8, width=1)
+        assert not xbar.is_fully_connected
+        assert xbar.concurrent_capacity() == 1
+
+    def test_four_concurrent_routes_on_pagemove_crossbar(self):
+        xbar = BankGroupCrossbar(4, 8)
+        for bg in range(4):
+            xbar.connect(bg, bundle=bg + 2, now=0, until=50)
+        assert xbar.active_routes(now=10) == {0: 2, 1: 3, 2: 4, 3: 5}
+
+    def test_stock_crossbar_serializes_transfers(self):
+        xbar = BankGroupCrossbar(4, 8, width=1)
+        xbar.connect(0, bundle=0, now=0, until=50)
+        with pytest.raises(ProtocolError):
+            xbar.connect(1, bundle=1, now=10, until=60)
+        # After the first route expires, the next is allowed.
+        xbar.connect(1, bundle=1, now=50, until=100)
+
+    def test_output_port_conflict_rejected(self):
+        xbar = BankGroupCrossbar(4, 8)
+        xbar.connect(0, bundle=5, now=0, until=50)
+        with pytest.raises(ProtocolError):
+            xbar.connect(1, bundle=5, now=25, until=75)
+
+    def test_input_port_conflict_rejected(self):
+        xbar = BankGroupCrossbar(4, 8)
+        xbar.connect(0, bundle=5, now=0, until=50)
+        with pytest.raises(ProtocolError):
+            xbar.connect(0, bundle=6, now=25, until=75)
+
+    def test_route_expiry_frees_ports(self):
+        xbar = BankGroupCrossbar(4, 8)
+        xbar.connect(0, bundle=5, now=0, until=50)
+        xbar.connect(0, bundle=5, now=50, until=100)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ProtocolError):
+            BankGroupCrossbar(0, 8)
+        with pytest.raises(ProtocolError):
+            BankGroupCrossbar(4, 8, width=9)
+        with pytest.raises(ProtocolError):
+            BankGroupCrossbar(4, 8, width=0)
+
+    def test_route_bounds_checked(self):
+        xbar = BankGroupCrossbar(4, 8)
+        with pytest.raises(ProtocolError):
+            xbar.connect(4, 0, 0, 10)
+        with pytest.raises(ProtocolError):
+            xbar.connect(0, 8, 0, 10)
+        with pytest.raises(ProtocolError):
+            xbar.connect(0, 0, 10, 10)

@@ -1,0 +1,79 @@
+"""Tests for the command-level HBM power model (repro.hbm.power)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hbm import HBMConfig, HBMSystem
+from repro.hbm.power import HBMPowerModel
+from repro.hbm.trace import TraceReplayer, sequential_trace
+from repro.pagemove import InterleavedPageMapping, PageMoveAddressMapping
+from repro import MigrationEngine
+from repro.vm import GPUDriver
+
+
+@pytest.fixture
+def model():
+    return HBMPowerModel(HBMConfig())
+
+
+class TestAccounting:
+    def test_idle_run_is_background_only(self, model):
+        e = model.energy({}, mem_cycles=440_000_000)  # one second
+        assert e.dynamic == 0.0
+        # 32 channels x 110 mW x 1 s = 3.52 J.
+        assert e.background == pytest.approx(3.52)
+
+    def test_read_energy_per_bit(self, model):
+        e = model.energy({"reads": 1000}, mem_cycles=0)
+        assert e.read == pytest.approx(1000 * 1024 * 4.0e-12)
+
+    def test_activation_energy(self, model):
+        e = model.energy({"activates": 500}, mem_cycles=0)
+        assert e.activation == pytest.approx(500 * 2.0e-9)
+
+    def test_migration_counted_once_per_copy(self, model):
+        # The stack records 2 'migrations' per copy (src + dst views).
+        one_copy = model.energy({"migrations": 2}, mem_cycles=0)
+        assert one_copy.migration == pytest.approx(
+            1024 * (2.5 + 4.0) * 1e-12
+        )
+
+    def test_fractions_sum_to_one(self, model):
+        e = model.energy({"reads": 10, "writes": 5, "activates": 3,
+                          "migrations": 4}, mem_cycles=1000)
+        total = sum(e.fraction(p) for p in
+                    ("activation", "read", "write", "migration", "background"))
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HBMPowerModel(HBMConfig(), activate_nj=-1)
+        with pytest.raises(ConfigError):
+            HBMPowerModel().energy({}, mem_cycles=-1)
+
+
+class TestPageMoveEnergyClaim:
+    def test_migration_cheaper_than_read_write_per_byte(self, model):
+        """PageMove's intra-stack copy skips the PHY round trip, so a
+        migrated byte costs less than a read-out/write-back byte."""
+        assert model.migration_vs_readwrite_ratio() < 1.0
+
+    def test_costing_a_real_command_level_run(self, model):
+        """End to end: replay a trace + a page migration, then cost the
+        run from the recorded statistics."""
+        mapping = PageMoveAddressMapping()
+        replayer = TraceReplayer()
+        replayer.replay(sequential_trace(128))
+        engine = MigrationEngine(
+            GPUDriver(pages_per_channel=16,
+                      mapping=InterleavedPageMapping(mapping)),
+            mapping=mapping,
+        )
+        done = engine.execute_page_on_hardware(replayer.system, src_rpn=0,
+                                               dst_channel=1, now=10_000)
+        stats = replayer.system.stats()
+        energy = model.energy(stats, mem_cycles=done)
+        assert stats["migrations_completed"] == 32
+        assert energy.read > 0
+        assert energy.migration > 0
+        assert energy.total > energy.dynamic  # background accrued

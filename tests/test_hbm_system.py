@@ -1,0 +1,81 @@
+"""Unit tests for the whole-memory-system facade (repro.hbm.system)."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.hbm import HBMConfig, HBMSystem, HBMTiming
+
+
+@pytest.fixture
+def system():
+    return HBMSystem()
+
+
+class TestStructure:
+    def test_paper_configuration(self, system):
+        assert len(system.stacks) == 4
+        assert system.num_channels == 32
+        assert len(system.controllers) == 32
+
+    def test_channel_bandwidth_matches_table1(self, system):
+        # 900 GB/s over 32 channels.
+        assert system.config.channel_bandwidth_gbps == pytest.approx(900 / 32)
+        assert system.peak_bandwidth_gbps(32) == pytest.approx(900)
+        assert system.peak_bandwidth_gbps(16) == pytest.approx(450)
+
+    def test_peak_bandwidth_bounds(self, system):
+        with pytest.raises(ProtocolError):
+            system.peak_bandwidth_gbps(33)
+        with pytest.raises(ProtocolError):
+            system.peak_bandwidth_gbps(-1)
+
+
+class TestChannelIds:
+    def test_split_roundtrip(self, system):
+        for gid in range(32):
+            stack, local = system.split_channel_id(gid)
+            assert system.global_channel_id(stack, local) == gid
+
+    def test_split_out_of_range(self, system):
+        with pytest.raises(ProtocolError):
+            system.split_channel_id(32)
+
+    def test_global_id_bounds(self, system):
+        with pytest.raises(ProtocolError):
+            system.global_channel_id(4, 0)
+        with pytest.raises(ProtocolError):
+            system.global_channel_id(0, 8)
+
+    def test_channel_lookup_is_consistent(self, system):
+        ch = system.channel(13)  # stack 1, local channel 5
+        assert ch is system.stacks[1].channels[5]
+        assert system.controller(13).channel is ch
+
+
+class TestConfigValidation:
+    def test_default_config_valid(self):
+        HBMConfig().validate()
+
+    def test_non_power_of_two_channels_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(channels_per_stack=6).validate()
+
+    def test_zero_stacks_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(num_stacks=0).validate()
+
+    def test_row_not_multiple_of_column_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(row_size_bytes=2000, column_bytes=128).validate()
+
+    def test_clock_domain_conversion(self):
+        cfg = HBMConfig()
+        assert cfg.to_gpu_cycles(50) == pytest.approx(40)
+        assert cfg.to_mem_cycles(40) == pytest.approx(50)
+        assert cfg.migration_gpu_cycles_per_command() == pytest.approx(40)
+
+    def test_columns_per_row(self):
+        assert HBMConfig().columns_per_row == 16
+
+    def test_banks_per_channel(self):
+        assert HBMConfig().banks_per_channel == 16

@@ -1,0 +1,150 @@
+"""Unit tests for the Figure 8 address mapping
+(repro.pagemove.address_mapping)."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.hbm import HBMConfig
+from repro.pagemove import InterleavedPageMapping, PageMoveAddressMapping
+
+
+@pytest.fixture
+def mapping():
+    return PageMoveAddressMapping()
+
+
+class TestBitLayout:
+    def test_stack_bits_are_7_to_8(self, mapping):
+        assert mapping.decode(0).stack == 0
+        assert mapping.decode(1 << 7).stack == 1
+        assert mapping.decode(3 << 7).stack == 3
+
+    def test_bank_group_bits_are_9_to_10(self, mapping):
+        assert mapping.decode(1 << 9).bank_group == 1
+        assert mapping.decode(3 << 9).bank_group == 3
+
+    def test_channel_bits_are_12_to_14(self, mapping):
+        assert mapping.decode(1 << 12).channel == 1
+        assert mapping.decode(7 << 12).channel == 7
+
+    def test_low_column_bit_is_11(self, mapping):
+        assert mapping.decode(1 << 11).column == 1
+
+    def test_byte_in_line_does_not_change_coordinates(self, mapping):
+        a = mapping.decode(0)
+        b = mapping.decode(127)
+        assert a == b
+
+    def test_total_capacity(self, mapping):
+        # 32 channels x 4 groups x 4 banks x 16384 rows x 2 KB = 16 GiB.
+        assert mapping.total_bytes == 16 * 1024**3
+
+    def test_address_bounds(self, mapping):
+        with pytest.raises(AddressError):
+            mapping.decode(mapping.total_bytes)
+        with pytest.raises(AddressError):
+            mapping.decode(-1)
+
+
+class TestPageProperties:
+    def test_page_confined_to_one_channel(self, mapping):
+        """Every byte of a 4 KB page maps to the same channel index."""
+        for rpn in (0, 5, 1000, 77777):
+            base = rpn << 12
+            channels = {mapping.decode(base + off).channel for off in range(0, 4096, 128)}
+            assert len(channels) == 1
+            assert channels.pop() == mapping.channel_of_page(rpn)
+
+    def test_page_striped_over_all_stacks_and_groups(self, mapping):
+        base = 42 << 12
+        stacks = set()
+        groups = set()
+        for off in range(0, 4096, 128):
+            loc = mapping.decode(base + off)
+            stacks.add(loc.stack)
+            groups.add(loc.bank_group)
+        assert stacks == {0, 1, 2, 3}
+        assert groups == {0, 1, 2, 3}
+
+    def test_paper_migration_command_count(self, mapping):
+        assert mapping.migrations_per_page == 32
+        assert mapping.slices_per_page == 16
+        assert mapping.columns_per_slice == 2
+        assert mapping.serialized_migrations_per_bank_group == 2
+
+    def test_channel_of_page_is_low_bits(self, mapping):
+        for rpn in range(64):
+            assert mapping.channel_of_page(rpn) == rpn % 8
+
+    def test_page_columns_consistent_with_decode(self, mapping):
+        rpn = 12345
+        columns = mapping.page_columns(rpn)
+        assert len(columns) == 32
+        decoded = set()
+        for off in range(0, 4096, 128):
+            loc = mapping.decode((rpn << 12) + off)
+            decoded.add(loc)
+        assert set(columns) == decoded
+
+    def test_rpn_roundtrip(self, mapping):
+        for rpn in (0, 7, 123, 99999):
+            coords = mapping.page_coordinates(rpn)
+            slot = coords.column_base >> mapping.low_column_bits
+            assert mapping.rpn_for(coords.channel, coords.bank, coords.row, slot) == rpn
+
+    def test_retarget_preserves_in_stack_shape(self, mapping):
+        rpn = 12345
+        moved = mapping.retarget_page(rpn, new_channel=2)
+        a, b = mapping.page_coordinates(rpn), mapping.page_coordinates(moved)
+        assert b.channel == 2
+        assert (a.bank, a.row, a.column_base) == (b.bank, b.row, b.column_base)
+
+    def test_frames_of_channel(self, mapping):
+        frames = mapping.frames_of_channel(3)
+        first = [next(frames) for _ in range(5)]
+        assert first == [3, 11, 19, 27, 35]
+        for rpn in first:
+            assert mapping.channel_of_page(rpn) == 3
+
+    def test_rpn_bounds(self, mapping):
+        with pytest.raises(AddressError):
+            mapping.channel_of_page(mapping.total_bytes // 4096)
+        with pytest.raises(AddressError):
+            mapping.rpn_for(channel=8, bank=0, row=0)
+
+
+class TestPageSizes:
+    """The idea works with different page sizes (paper Sections 4.3, 5)."""
+
+    def test_16k_pages(self):
+        m = PageMoveAddressMapping(page_size=16384)
+        assert m.migrations_per_page == 128
+        assert m.columns_per_slice == 8
+        base = 3 << 14
+        channels = {m.decode(base + off).channel for off in range(0, 16384, 128)}
+        assert len(channels) == 1
+
+    def test_32k_pages_fill_whole_rows(self):
+        # 32 KB pages use all 16 columns of each bank's 2 KB row.
+        m = PageMoveAddressMapping(page_size=32768)
+        assert m.columns_per_slice == 16
+        assert m.migrations_per_page == 256
+
+    def test_64k_pages_exceed_row_capacity(self):
+        # 64 KB pages would need 32 columns per slice but a 2 KB row only
+        # holds 16, so the mapping rejects the geometry.
+        with pytest.raises(ConfigError):
+            PageMoveAddressMapping(page_size=65536)
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ConfigError):
+            PageMoveAddressMapping(page_size=1024)
+
+
+class TestInterleavedAdapter:
+    def test_driver_interface(self):
+        adapter = InterleavedPageMapping(PageMoveAddressMapping())
+        assert adapter.num_channel_groups == 8
+        assert adapter.channel_of_frame(13) == 5
+        frames = adapter.frames_of_channel(2)
+        assert next(frames) == 2

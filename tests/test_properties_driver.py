@@ -1,0 +1,122 @@
+"""Stateful property-based testing of the GPU driver's frame accounting
+(hypothesis RuleBasedStateMachine)."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import AllocationError
+from repro.pagemove import InterleavedPageMapping, PageMoveAddressMapping
+from repro.vm import FaultKind, GPUDriver
+
+PAGES_PER_CHANNEL = 12
+CHANNELS = 8
+
+
+class DriverMachine(RuleBasedStateMachine):
+    """Random interleavings of register / fault / reassign / release must
+    never corrupt the driver's frame bookkeeping."""
+
+    def __init__(self):
+        super().__init__()
+        self.driver = GPUDriver(
+            pages_per_channel=PAGES_PER_CHANNEL,
+            mapping=InterleavedPageMapping(PageMoveAddressMapping()),
+        )
+        self.mapped = {}          # app_id -> {vpn: rpn}
+        self.apps = set()
+        self.next_vpn = 0
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(app_id=st.integers(min_value=0, max_value=3),
+          channels=st.sets(st.integers(min_value=0, max_value=7),
+                           min_size=1, max_size=8))
+    def register(self, app_id, channels):
+        if app_id in self.apps:
+            with pytest.raises(AllocationError):
+                self.driver.register_app(app_id, channels)
+            return
+        self.driver.register_app(app_id, channels)
+        self.apps.add(app_id)
+        self.mapped[app_id] = {}
+
+    @precondition(lambda self: self.apps)
+    @rule(data=st.data())
+    def demand_fault(self, data):
+        app_id = data.draw(st.sampled_from(sorted(self.apps)))
+        vpn = self.next_vpn
+        self.next_vpn += 1
+        try:
+            fault = self.driver.handle_fault(FaultKind.DEMAND, app_id, vpn)
+        except AllocationError:
+            # Out of frames in every assigned channel: legal terminal state
+            # for that app; nothing must have changed.
+            return
+        self.mapped[app_id][vpn] = fault.rpn
+        assert self.driver.channel_of_frame(fault.rpn) == fault.channel
+        assert fault.channel in self.driver.assigned_channels(app_id)
+
+    @precondition(lambda self: any(self.mapped.get(a) for a in self.apps))
+    @rule(data=st.data())
+    def release(self, data):
+        candidates = [a for a in sorted(self.apps) if self.mapped[a]]
+        app_id = data.draw(st.sampled_from(candidates))
+        vpn = data.draw(st.sampled_from(sorted(self.mapped[app_id])))
+        rpn = self.mapped[app_id].pop(vpn)
+        self.driver.release_page(app_id, rpn)
+        self.driver.page_tables[app_id].unmap(vpn)
+
+    @precondition(lambda self: self.apps)
+    @rule(data=st.data(),
+          channels=st.sets(st.integers(min_value=0, max_value=7),
+                           min_size=1, max_size=8))
+    def reassign(self, data, channels):
+        app_id = data.draw(st.sampled_from(sorted(self.apps)))
+        self.driver.reassign_channels(app_id, channels)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def frames_conserved(self):
+        """free + resident == capacity, per channel."""
+        for channel in range(CHANNELS):
+            resident = sum(
+                self.driver.resident_pages(app_id, channel)
+                for app_id in self.apps
+            )
+            free = self.driver.free_pages(channel)
+            assert free + resident == PAGES_PER_CHANNEL, (
+                f"channel {channel}: {free} free + {resident} resident"
+            )
+
+    @invariant()
+    def no_frame_double_allocated(self):
+        seen = set()
+        for app_id in self.apps:
+            for rpn in self.mapped[app_id].values():
+                assert rpn not in seen, f"frame {rpn} owned twice"
+                seen.add(rpn)
+
+    @invariant()
+    def page_tables_match_shadow(self):
+        for app_id in self.apps:
+            table = self.driver.page_tables[app_id]
+            assert len(table) == len(self.mapped[app_id])
+            for vpn, rpn in self.mapped[app_id].items():
+                entry = table.lookup(vpn)
+                assert entry is not None and entry.rpn == rpn
+
+
+DriverMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestDriverStateMachine = DriverMachine.TestCase

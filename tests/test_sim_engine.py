@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(42).now == 42
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(5)
+        clock.advance_to(5)
+        assert clock.now == 5
+
+    def test_never_rewinds(self):
+        clock = SimClock(10)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9)
+
+    def test_advance_by(self):
+        clock = SimClock(3)
+        clock.advance_by(7)
+        assert clock.now == 10
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance_by(-1)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(30, lambda: order.append("c"))
+        q.schedule(10, lambda: order.append("a"))
+        q.schedule(20, lambda: order.append("b"))
+        q.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking_at_same_timestamp(self):
+        q = EventQueue()
+        order = []
+        for name in "abcde":
+            q.schedule(5, lambda n=name: order.append(n))
+        q.run_all()
+        assert order == list("abcde")
+
+    def test_clock_tracks_fired_events(self):
+        q = EventQueue()
+        q.schedule(15, lambda: None)
+        q.step()
+        assert q.clock.now == 15
+
+    def test_cannot_schedule_in_the_past(self):
+        q = EventQueue()
+        q.clock.advance_to(50)
+        with pytest.raises(SimulationError):
+            q.schedule(49, lambda: None)
+
+    def test_schedule_in_relative_delay(self):
+        q = EventQueue()
+        q.clock.advance_to(100)
+        event = q.schedule_in(25, lambda: None)
+        assert event.time == 125
+
+    def test_schedule_in_rejects_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_in(-1, lambda: None)
+
+    def test_run_until_only_fires_due_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append(10))
+        q.schedule(20, lambda: fired.append(20))
+        q.schedule(30, lambda: fired.append(30))
+        count = q.run_until(20)
+        assert count == 2
+        assert fired == [10, 20]
+        assert q.clock.now == 20
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        q = EventQueue()
+        q.run_until(500)
+        assert q.clock.now == 500
+
+    def test_cancelled_events_do_not_fire(self):
+        q = EventQueue()
+        fired = []
+        event = q.schedule(10, lambda: fired.append("x"))
+        q.schedule(20, lambda: fired.append("y"))
+        event.cancel()
+        q.run_all()
+        assert fired == ["y"]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_actions_can_schedule_more_events(self):
+        q = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            q.schedule_in(5, lambda: order.append("second"))
+
+        q.schedule(10, first)
+        q.run_all()
+        assert order == ["first", "second"]
+        assert q.clock.now == 15
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(7, lambda: None)
+        assert q.peek_time() == 7
+
+    def test_event_storm_guard(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule_in(1, reschedule)
+
+        q.schedule(0, reschedule)
+        with pytest.raises(SimulationError):
+            q.run_all(max_events=1000)
+
+    def test_events_fired_counter(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule(t, lambda: None)
+        q.run_all()
+        assert q.events_fired == 5

@@ -1,0 +1,94 @@
+"""Unit tests for the epoch runner (repro.sim.epoch)."""
+
+import pytest
+
+from repro.sim import EpochResult, EpochRunner
+from repro.sim.epoch import truncate_epochs
+
+
+def make_result(index, span, migration=0, instructions=None):
+    start = index * span
+    return EpochResult(
+        index=index,
+        start_cycle=start,
+        end_cycle=start + span,
+        instructions=instructions or {},
+        migration_cycles=migration,
+    )
+
+
+class TestEpochResult:
+    def test_cycles(self):
+        r = EpochResult(index=0, start_cycle=100, end_cycle=350)
+        assert r.cycles == 250
+
+    def test_migration_fraction(self):
+        r = EpochResult(index=0, start_cycle=0, end_cycle=1000, migration_cycles=89)
+        assert r.migration_fraction == pytest.approx(0.089)
+
+    def test_migration_fraction_of_empty_epoch_is_zero(self):
+        r = EpochResult(index=0, start_cycle=5, end_cycle=5)
+        assert r.migration_fraction == 0.0
+
+
+class TestEpochRunner:
+    def test_rejects_nonpositive_epoch_length(self):
+        with pytest.raises(ValueError):
+            EpochRunner(epoch_cycles=0)
+
+    def test_runs_expected_number_of_epochs(self):
+        runner = EpochRunner(epoch_cycles=1000)
+        results = runner.run(lambda i, span: make_result(i, span), total_cycles=5000)
+        assert len(results) == 5
+        assert [r.index for r in results] == [0, 1, 2, 3, 4]
+
+    def test_last_epoch_truncated_to_horizon(self):
+        runner = EpochRunner(epoch_cycles=1000)
+        spans = []
+
+        def step(i, span):
+            spans.append(span)
+            return make_result(i, span)
+
+        runner.run(step, total_cycles=2500)
+        assert spans == [1000, 1000, 500]
+
+    def test_rejects_nonpositive_horizon(self):
+        runner = EpochRunner()
+        with pytest.raises(ValueError):
+            runner.run(lambda i, s: make_result(i, s), total_cycles=0)
+
+    def test_stop_when_predicate_ends_early(self):
+        runner = EpochRunner(epoch_cycles=100)
+        results = runner.run(
+            lambda i, s: make_result(i, s, migration=50 if i == 2 else 0),
+            total_cycles=10_000,
+            stop_when=lambda r: r.migration_cycles > 0,
+        )
+        assert len(results) == 3
+
+    def test_migration_fractions_series(self):
+        runner = EpochRunner(epoch_cycles=1000)
+        runner.run(
+            lambda i, s: make_result(i, s, migration=i * 100),
+            total_cycles=3000,
+        )
+        assert runner.migration_fractions() == [0.0, 0.1, 0.2]
+
+    def test_total_instructions_accumulates_per_app(self):
+        runner = EpochRunner(epoch_cycles=10)
+        runner.run(
+            lambda i, s: make_result(i, s, instructions={"a": 5, "b": i}),
+            total_cycles=30,
+        )
+        assert runner.total_instructions() == {"a": 15, "b": 3}
+
+
+class TestTruncateEpochs:
+    def test_truncates_at_cycle_budget(self):
+        results = [make_result(i, 100) for i in range(10)]
+        kept = truncate_epochs(results, 350)
+        assert len(kept) == 4  # 3 full epochs = 300 < 350, 4th crosses
+
+    def test_empty_input(self):
+        assert truncate_epochs([], 100) == []

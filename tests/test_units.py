@@ -1,0 +1,65 @@
+"""Unit tests for unit helpers (repro.units)."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GB_DECIMAL,
+    KB,
+    MB,
+    bytes_per_cycle_to_gbps,
+    bytes_to_mb,
+    cycles_to_seconds,
+    gbps_to_bytes_per_cycle,
+    is_power_of_two,
+    log2_int,
+    seconds_to_cycles,
+)
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024 ** 2
+        assert GB == 1024 ** 3
+        assert GB_DECIMAL == 10 ** 9
+
+
+class TestConversions:
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(3 * MB) == 3.0
+
+    def test_bandwidth_roundtrip(self):
+        bpc = gbps_to_bytes_per_cycle(900.0, 1.4e9)
+        assert bytes_per_cycle_to_gbps(bpc, 1.4e9) == pytest.approx(900.0)
+
+    def test_channel_bandwidth_example(self):
+        # 900/32 GB/s at 1.4 GHz: the per-channel figure used everywhere.
+        bpc = gbps_to_bytes_per_cycle(900.0 / 32, 1.4e9)
+        assert bpc == pytest.approx(20.089, rel=1e-3)
+
+    def test_cycles_seconds_roundtrip(self):
+        seconds = cycles_to_seconds(25_000_000, 1.4e9)
+        assert seconds_to_cycles(seconds, 1.4e9) == pytest.approx(25_000_000)
+
+    def test_nonpositive_frequency_rejected(self):
+        for fn in (gbps_to_bytes_per_cycle, bytes_per_cycle_to_gbps,
+                   cycles_to_seconds, seconds_to_cycles):
+            with pytest.raises(ValueError):
+                fn(1.0, 0)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+        assert not any(is_power_of_two(n) for n in (0, -2, 3, 6, 12, 100))
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(4096) == 12
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+        with pytest.raises(ValueError):
+            log2_int(0)

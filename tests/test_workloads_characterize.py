@@ -1,0 +1,88 @@
+"""Tests for trace-based kernel characterization
+(repro.workloads.characterize)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import GPUConfig, PerformanceModel
+from repro.workloads import hotset_trace, streaming_trace
+from repro.workloads.characterize import TraceCharacterizer
+
+
+@pytest.fixture
+def characterizer():
+    return TraceCharacterizer(GPUConfig())
+
+
+class TestMeasure:
+    def test_streaming_trace_never_hits(self, characterizer):
+        profile = characterizer.measure(streaming_trace(5000),
+                                        instructions=1_000_000)
+        assert profile.llc_hit_rate == 0.0
+        assert profile.apki_llc == pytest.approx(5.0)
+        assert profile.footprint_bytes == 5000 * 128
+
+    def test_hot_set_hits(self, characterizer):
+        trace = hotset_trace(20_000, hot_bytes=256 * 1024,
+                             cold_bytes=64 * 1024 * 1024, hot_fraction=0.95)
+        profile = characterizer.measure(trace, instructions=4_000_000)
+        assert profile.llc_hit_rate > 0.5
+
+    def test_footprint_counts_unique_lines(self, characterizer):
+        trace = [0, 0, 128, 128, 256]
+        profile = characterizer.measure(trace, instructions=1000)
+        assert profile.footprint_bytes == 3 * 128
+
+    def test_invalid_instructions(self, characterizer):
+        with pytest.raises(ConfigError):
+            characterizer.measure([0], instructions=0)
+
+
+class TestCapacityCurve:
+    def test_curve_monotone(self, characterizer):
+        trace = hotset_trace(30_000, hot_bytes=2 * 1024 * 1024,
+                             cold_bytes=32 * 1024 * 1024, hot_fraction=0.9)
+        curve = characterizer.capacity_curve(trace)
+        rates = [curve.hit_rate(c) for c in (5e5, 1e6, 3e6, 6e6)]
+        assert rates == sorted(rates)
+
+    def test_empty_trace_rejected(self, characterizer):
+        with pytest.raises(ConfigError):
+            characterizer.capacity_curve([])
+
+
+class TestKernelFromTrace:
+    def test_streaming_trace_yields_memory_bound_kernel(self, characterizer):
+        kernel = characterizer.kernel_from_trace(
+            "stream", streaming_trace(8000), instructions=1_000_000
+        )
+        t = PerformanceModel(GPUConfig()).throughput(kernel, 40, 16)
+        assert t.demand_supply_ratio > 1.0
+
+    def test_sparse_trace_yields_compute_bound_kernel(self, characterizer):
+        # Few accesses per kilo-instruction on a tiny hot set.
+        trace = [(i % 64) * 128 for i in range(500)]
+        kernel = characterizer.kernel_from_trace(
+            "compute", trace, instructions=5_000_000
+        )
+        t = PerformanceModel(GPUConfig()).throughput(kernel, 40, 16)
+        assert t.demand_supply_ratio < 1.0
+
+    def test_characterized_kernel_runs_end_to_end(self, characterizer):
+        """A trace-derived kernel plugs straight into the system sim."""
+        from repro import Application, BPSystem, UGPUSystem, build_application
+
+        kernel = characterizer.kernel_from_trace(
+            "stream", streaming_trace(8000), instructions=6_000_000_000
+        )
+        custom = Application(0, "custom", [kernel])
+        partner = build_application("DXTC", app_id=1)
+        bp = BPSystem([custom, partner]).run(10_000_000)
+        ugpu = UGPUSystem([custom.clone(0), partner.clone(1)]).run(10_000_000)
+        assert ugpu.stp >= bp.stp
+
+    def test_ipc_derived_from_warp_model(self, characterizer):
+        kernel = characterizer.kernel_from_trace(
+            "k", streaming_trace(1000), instructions=1_000_000
+        )
+        assert 1.0 <= kernel.ipc_per_sm <= 64.0

@@ -12,54 +12,42 @@ Run the whole harness with::
 
 from __future__ import annotations
 
+import os
 import statistics
-from typing import Callable, Dict, List, Sequence
+from typing import List, Sequence
 
 import pytest
 
-from repro import (
-    BPBigSmallSystem,
-    BPSmallBigSystem,
-    BPSystem,
-    CDSearchSystem,
-    MigrationMode,
-    MPSSystem,
-    UGPUSystem,
-    build_mix,
-)
 from repro.core.system import SystemResult
+from repro.exec import SweepExecutor, SweepJob, execute_job
 from repro.workloads import heterogeneous_pairs
 
 #: The paper's simulation horizon (Section 5).
 HORIZON = 25_000_000
 
+#: Benches fan sweeps out over this many workers (REPRO_BENCH_JOBS=N to
+#: raise it; the default stays in-process so timings are comparable).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 def run_policy(policy: str, abbrs: Sequence[str], **kwargs) -> SystemResult:
-    """Instantiate and run one policy on a fresh mix."""
-    apps = build_mix(list(abbrs)).applications
-    factories: Dict[str, Callable] = {
-        "BP": lambda: BPSystem(apps, **kwargs),
-        "BP-BS": lambda: BPBigSmallSystem(apps, **kwargs),
-        "BP-SB": lambda: BPSmallBigSystem(apps, **kwargs),
-        "MPS": lambda: MPSSystem(apps, **kwargs),
-        "CD": lambda: CDSearchSystem(apps, **kwargs),
-        "UGPU": lambda: UGPUSystem(apps, **kwargs),
-        "UGPU-offline": lambda: UGPUSystem(apps, offline=True, **kwargs),
-        "UGPU-soft": lambda: UGPUSystem(
-            apps, mode=MigrationMode.SOFTWARE, **kwargs
-        ),
-        "UGPU-ori": lambda: UGPUSystem(
-            apps, mode=MigrationMode.TRADITIONAL, **kwargs
-        ),
-    }
-    return factories[policy]().run(HORIZON, mix_name="_".join(abbrs))
+    """Instantiate and run one policy on a fresh mix.
+
+    ``policy`` is any name the :mod:`repro.exec` registry knows
+    ("BP", "CD", "UGPU-offline", ...).
+    """
+    return execute_job(SweepJob.build(policy, abbrs, HORIZON, kwargs))
 
 
-def sweep_policy(policy: str, pairs=None, **kwargs) -> List[SystemResult]:
+def sweep_policy(policy: str, pairs=None, jobs: int = None,
+                 **kwargs) -> List[SystemResult]:
     """Run one policy across workload pairs (default: all 50
-    heterogeneous mixes)."""
+    heterogeneous mixes) through the sweep executor."""
     selected = pairs if pairs is not None else heterogeneous_pairs()
-    return [run_policy(policy, pair, **kwargs) for pair in selected]
+    sweep_jobs = [SweepJob.build(policy, pair, HORIZON, kwargs)
+                  for pair in selected]
+    executor = SweepExecutor(jobs=jobs if jobs is not None else BENCH_JOBS)
+    return executor.run(sweep_jobs)
 
 
 def mean_gain(results: Sequence[SystemResult],

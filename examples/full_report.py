@@ -3,21 +3,18 @@
 
 Sweeps five slicing policies over a workload sample and renders the
 comparison as both a terminal table and a Markdown file — the same
-machinery EXPERIMENTS.md-style reports are built from.
+machinery EXPERIMENTS.md-style reports are built from.  The sweep fans
+out over every CPU core and memoizes results in a local cache directory,
+so a re-run reproduces the table from cache without re-simulating.
 
 Run:  python examples/full_report.py [output.md]
 """
 
+import os
 import sys
 
-from repro import (
-    BPSystem,
-    CDSearchSystem,
-    MPSSystem,
-    MigrationMode,
-    UGPUSystem,
-)
 from repro.analysis import compare_policies, format_markdown, format_text
+from repro.exec import ResultCache, SweepExecutor
 from repro.workloads import heterogeneous_pairs
 
 
@@ -26,17 +23,22 @@ def main() -> None:
     # for the full Figure 10 sweep.
     workloads = heterogeneous_pairs()[::5]
 
+    # Registry names let the executor ship jobs to worker processes and
+    # memoize each result under a content-addressed key.
     policies = {
-        "BP": BPSystem,
-        "MPS": MPSSystem,
-        "BP(CD-Search)": CDSearchSystem,
-        "UGPU-Ori": lambda apps: UGPUSystem(
-            apps, mode=MigrationMode.TRADITIONAL
-        ),
-        "UGPU": UGPUSystem,
+        "BP": "bp",
+        "MPS": "mps",
+        "BP(CD-Search)": "cd-search",
+        "UGPU-Ori": "ugpu-ori",
+        "UGPU": "ugpu",
     }
+    executor = SweepExecutor(
+        jobs=os.cpu_count() or 1,
+        cache=ResultCache(os.path.join(os.path.dirname(__file__), ".sweep_cache")),
+    )
     table, summaries = compare_policies(
-        policies, workloads, baseline="BP", total_cycles=25_000_000
+        policies, workloads, baseline="BP", total_cycles=25_000_000,
+        executor=executor,
     )
 
     print(format_text(table))
@@ -44,6 +46,7 @@ def main() -> None:
     gain = summaries["UGPU"].stp_gain_over(summaries["BP"])
     print(f"UGPU mean STP gain over BP: {gain:+.1%} "
           f"(paper: +34.3% over the full 50-mix sweep)")
+    print(executor.stats.format())
 
     if len(sys.argv) > 1:
         with open(sys.argv[1], "w") as handle:

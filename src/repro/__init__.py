@@ -60,6 +60,17 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+# Imported after __version__: the exec job specs fold the package version
+# into their cache keys.
+from repro.exec import (  # noqa: E402
+    ExecStats,
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    register_policy,
+    registered_policies,
+)
+
 __all__ = [
     "__version__",
     # GPU substrate
@@ -103,6 +114,13 @@ __all__ = [
     "stp",
     "antt",
     "EnergyModel",
+    # Sweep execution engine
+    "ExecStats",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepJob",
+    "register_policy",
+    "registered_policies",
     # Workloads
     "TABLE2",
     "catalog",

@@ -1,15 +1,34 @@
-"""Policy sweeps over workload lists, with paper-style summaries."""
+"""Policy sweeps over workload lists, with paper-style summaries.
+
+Sweeps execute through :mod:`repro.exec`: pass ``jobs=N`` to fan the
+(policy × mix) simulations out over a process pool and ``cache=`` a
+:class:`~repro.exec.cache.ResultCache` to memoize results across calls.
+Policies may be given as registry names (``"bp"``, ``"ugpu"``, ...), as
+the registered factories themselves (e.g. ``BPSystem``), or as arbitrary
+callables — the latter fall back to in-process serial execution since
+they cannot cross a process boundary or be fingerprinted.
+"""
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import Table
 from repro.core.system import SystemResult
 from repro.errors import ConfigError
+from repro.exec import (
+    ExecStats,
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    policy_name_of,
+    resolve_policy,
+)
 from repro.workloads.mixes import build_mix
+
+PolicySpec = Union[str, Callable]
 
 
 @dataclass
@@ -33,48 +52,90 @@ class SweepSummary:
     def worst_min_np(self) -> float:
         return min(self.min_np_values)
 
+    def _check_comparable(self, baseline: "SweepSummary") -> None:
+        if len(baseline.stp_values) != len(self.stp_values):
+            raise ConfigError(
+                f"sweeps cover different workload lists: {self.policy!r} has "
+                f"{len(self.stp_values)} results but baseline "
+                f"{baseline.policy!r} has {len(baseline.stp_values)}"
+            )
+
     def stp_gain_over(self, baseline: "SweepSummary") -> float:
         """Mean per-workload STP gain over a baseline sweep."""
-        if len(baseline.stp_values) != len(self.stp_values):
-            raise ConfigError("sweeps cover different workload lists")
+        self._check_comparable(baseline)
         return statistics.fmean(
             mine / theirs - 1.0
             for mine, theirs in zip(self.stp_values, baseline.stp_values)
         )
 
     def antt_gain_over(self, baseline: "SweepSummary") -> float:
-        if len(baseline.antt_values) != len(self.antt_values):
-            raise ConfigError("sweeps cover different workload lists")
+        self._check_comparable(baseline)
         return statistics.fmean(
             theirs / mine - 1.0
             for mine, theirs in zip(self.antt_values, baseline.antt_values)
         )
 
 
-class PolicySweep:
-    """Run one policy factory across many workload mixes.
+def _registry_name(factory: PolicySpec) -> Optional[str]:
+    """The registry name for a policy spec, or None for ad-hoc callables."""
+    if isinstance(factory, str):
+        resolve_policy(factory)  # raise early on unknown names
+        return factory
+    return policy_name_of(factory)
 
-    ``factory`` receives a fresh application list per mix and returns a
-    system with a ``run(total_cycles, mix_name=...)`` method.
+
+class PolicySweep:
+    """Run one policy across many workload mixes.
+
+    ``factory`` is a registry name, a registered factory, or any callable
+    receiving a fresh application list per mix and returning a system
+    with a ``run(total_cycles, mix_name=...)`` method.  Registry-known
+    policies execute through :class:`~repro.exec.executor.SweepExecutor`
+    (honouring ``jobs``/``cache``); ad-hoc callables run serially
+    in-process.
     """
 
-    def __init__(self, name: str, factory: Callable, total_cycles: int = 25_000_000):
+    def __init__(
+        self,
+        name: str,
+        factory: PolicySpec,
+        total_cycles: int = 25_000_000,
+        factory_kwargs: Optional[Mapping[str, Any]] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ):
         if total_cycles <= 0:
             raise ConfigError("total_cycles must be positive")
         self.name = name
         self.factory = factory
         self.total_cycles = total_cycles
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.executor = SweepExecutor(jobs=jobs, cache=cache)
         self.results: List[SystemResult] = []
+
+    @property
+    def stats(self) -> ExecStats:
+        """Executor statistics accumulated over this sweep's runs."""
+        return self.executor.stats
 
     def run(self, workloads: Sequence[Sequence[str]]) -> SweepSummary:
         """Evaluate every mix; returns the summary (results kept too)."""
-        self.results = []
-        for abbrs in workloads:
-            apps = build_mix(list(abbrs)).applications
-            result = self.factory(apps).run(
-                self.total_cycles, mix_name="_".join(abbrs)
-            )
-            self.results.append(result)
+        registry_name = _registry_name(self.factory)
+        if registry_name is None:
+            self.results = [
+                self.factory(
+                    build_mix(list(abbrs)).applications, **self.factory_kwargs
+                ).run(self.total_cycles, mix_name="_".join(abbrs))
+                for abbrs in workloads
+            ]
+        else:
+            sweep_jobs = [
+                SweepJob.build(
+                    registry_name, abbrs, self.total_cycles, self.factory_kwargs
+                )
+                for abbrs in workloads
+            ]
+            self.results = self.executor.run(sweep_jobs)
         return self.summary()
 
     def summary(self) -> SweepSummary:
@@ -89,21 +150,51 @@ class PolicySweep:
 
 
 def compare_policies(
-    policies: Dict[str, Callable],
+    policies: Dict[str, PolicySpec],
     workloads: Sequence[Sequence[str]],
     baseline: str = "BP",
     total_cycles: int = 25_000_000,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[Table, Dict[str, SweepSummary]]:
     """Sweep several policies and build the comparison table.
 
-    Returns the rendered-ready :class:`Table` plus the raw summaries.
+    All registry-known policies are submitted as one job batch so a
+    multi-policy comparison saturates the pool; ad-hoc callables run
+    serially.  Pass an ``executor`` to observe :class:`ExecStats`
+    afterwards (``executor.stats``); otherwise one is built from
+    ``jobs``/``cache``.  Returns the rendered-ready :class:`Table` plus
+    the raw summaries.
     """
     if baseline not in policies:
         raise ConfigError(f"baseline {baseline!r} not among the policies")
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, cache=cache)
+
+    names = {display: _registry_name(spec) for display, spec in policies.items()}
+    batched = [display for display, name in names.items() if name is not None]
+    batch_jobs = [
+        SweepJob.build(names[display], abbrs, total_cycles)
+        for display in batched
+        for abbrs in workloads
+    ]
+    batch_results = executor.run(batch_jobs)
+
+    per_policy: Dict[str, List[SystemResult]] = {}
+    for offset, display in enumerate(batched):
+        chunk = batch_results[offset * len(workloads):(offset + 1) * len(workloads)]
+        per_policy[display] = list(chunk)
+
     summaries: Dict[str, SweepSummary] = {}
-    for name, factory in policies.items():
-        sweep = PolicySweep(name, factory, total_cycles)
-        summaries[name] = sweep.run(workloads)
+    for display, spec in policies.items():
+        if display in per_policy:
+            sweep = PolicySweep(display, spec, total_cycles)
+            sweep.results = per_policy[display]
+            summaries[display] = sweep.summary()
+        else:
+            sweep = PolicySweep(display, spec, total_cycles)
+            summaries[display] = sweep.run(workloads)
 
     base = summaries[baseline]
     table = Table(

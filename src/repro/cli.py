@@ -6,45 +6,64 @@ Usage (after ``pip install -e .``)::
     python -m repro run --mix PVC,DXTC            # one mix, all policies
     python -m repro run --mix PVC,DXTC --policy ugpu bp
     python -m repro sweep --policies bp ugpu      # 50 heterogeneous mixes
+    python -m repro sweep --policies bp ugpu --jobs 8   # process-pool fan-out
     python -m repro qos --target 0.75             # Figure 16 scenario
+
+``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
+fans the independent simulations out over N worker processes, and
+results are memoized under ``--cache-dir`` (default
+``~/.cache/repro/sweeps`` or ``$REPRO_CACHE_DIR``) so repeated
+invocations cost near-zero; ``--no-cache`` forces fresh simulation.
+An ``ExecStats`` footer reports jobs run, cache hits and wall-clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro import (
-    BPBigSmallSystem,
-    BPSmallBigSystem,
-    BPSystem,
-    CDSearchSystem,
-    MPSSystem,
-    MigrationMode,
-    QoSTarget,
-    TABLE2,
-    UGPUSystem,
-    build_mix,
+from repro import BPSystem, MPSSystem, QoSTarget, TABLE2, UGPUSystem, build_mix
+from repro.exec import (
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    registered_policies,
 )
 from repro.workloads import heterogeneous_pairs
 
-POLICIES = {
-    "bp": lambda apps, **kw: BPSystem(apps, **kw),
-    "bp-bs": lambda apps, **kw: BPBigSmallSystem(apps, **kw),
-    "bp-sb": lambda apps, **kw: BPSmallBigSystem(apps, **kw),
-    "mps": lambda apps, **kw: MPSSystem(apps, **kw),
-    "cd-search": lambda apps, **kw: CDSearchSystem(apps, **kw),
-    "ugpu": lambda apps, **kw: UGPUSystem(apps, **kw),
-    "ugpu-offline": lambda apps, **kw: UGPUSystem(apps, offline=True, **kw),
-    "ugpu-soft": lambda apps, **kw: UGPUSystem(
-        apps, mode=MigrationMode.SOFTWARE, **kw
-    ),
-    "ugpu-ori": lambda apps, **kw: UGPUSystem(
-        apps, mode=MigrationMode.TRADITIONAL, **kw
-    ),
-}
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "sweeps"
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the sweep executor "
+                             "(default: 1, in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache and re-simulate")
+
+
+def _executor_from(args) -> SweepExecutor:
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepExecutor(jobs=args.jobs, cache=cache)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -61,15 +80,17 @@ def _parser() -> argparse.ArgumentParser:
                                      "more policies")
     run.add_argument("--mix", required=True,
                      help="comma-separated benchmark abbreviations, e.g. PVC,DXTC")
-    run.add_argument("--policy", nargs="+", default=sorted(POLICIES),
-                     choices=sorted(POLICIES), help="policies to compare")
+    run.add_argument("--policy", nargs="+", default=registered_policies(),
+                     choices=registered_policies(), help="policies to compare")
     run.add_argument("--cycles", type=int, default=25_000_000,
                      help="simulation horizon in GPU cycles")
+    _add_exec_flags(run)
 
     sweep = sub.add_parser("sweep", help="run the 50 heterogeneous mixes")
     sweep.add_argument("--policies", nargs="+", default=["bp", "ugpu"],
-                       choices=sorted(POLICIES))
+                       choices=registered_policies())
     sweep.add_argument("--cycles", type=int, default=25_000_000)
+    _add_exec_flags(sweep)
 
     qos = sub.add_parser("qos", help="QoS scenario: high-priority "
                                      "compute-bound app (Figure 16)")
@@ -100,14 +121,16 @@ def cmd_catalog(_args) -> int:
 def cmd_run(args) -> int:
     abbrs = [a.strip() for a in args.mix.split(",") if a.strip()]
     print(f"mix: {'_'.join(abbrs)}  horizon: {args.cycles:,} cycles\n")
+    executor = _executor_from(args)
+    jobs = [SweepJob.build(name, abbrs, args.cycles) for name in args.policy]
+    results = executor.run(jobs)
     print(f"{'policy':<14} {'STP':>7} {'ANTT':>7} {'min NP':>7}  per-app NP")
-    for name in args.policy:
-        apps = build_mix(abbrs).applications
-        result = POLICIES[name](apps).run(args.cycles)
+    for name, result in zip(args.policy, results):
         nps = ", ".join(f"{r.name}={r.normalized_progress:.2f}"
                         for r in result.runs)
         print(f"{name:<14} {result.stp:>7.3f} {result.antt:>7.2f} "
               f"{result.min_np:>7.2f}  {nps}")
+    print(f"\n{executor.stats.format()}")
     return 0
 
 
@@ -115,14 +138,15 @@ def cmd_sweep(args) -> int:
     pairs = heterogeneous_pairs()
     print(f"sweeping {len(pairs)} heterogeneous mixes, "
           f"{args.cycles:,} cycles each\n")
+    executor = _executor_from(args)
+    jobs = [SweepJob.build(name, pair, args.cycles)
+            for name in args.policies for pair in pairs]
+    results = executor.run(jobs)
     stats = {}
-    for name in args.policies:
-        stps, antts = [], []
-        for pair in pairs:
-            apps = build_mix(list(pair)).applications
-            result = POLICIES[name](apps).run(args.cycles)
-            stps.append(result.stp)
-            antts.append(result.antt)
+    for offset, name in enumerate(args.policies):
+        chunk = results[offset * len(pairs):(offset + 1) * len(pairs)]
+        stps = [r.stp for r in chunk]
+        antts = [r.antt for r in chunk]
         stats[name] = (stps, antts)
         print(f"{name:<14} STP mean {statistics.fmean(stps):.3f} "
               f"(min {min(stps):.3f}, max {max(stps):.3f})   "
@@ -133,6 +157,7 @@ def cmd_sweep(args) -> int:
             if name != "bp":
                 gain = statistics.fmean(stps) / base - 1
                 print(f"\n{name} vs bp: {gain:+.1%}")
+    print(f"\n{executor.stats.format()}")
     return 0
 
 

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk memoization of sweep results.
+
+Every figure sweep re-simulates the BP baseline; across the full
+evaluation harness the same (policy, mix, horizon) job is recomputed
+dozens of times.  :class:`ResultCache` stores each finished
+:class:`~repro.core.system.SystemResult` under the SHA-256 key of its
+:class:`~repro.exec.jobs.SweepJob` spec (which folds in the package
+version, so a new release never serves stale physics).
+
+The cache is deliberately paranoid: entries are written atomically
+(temp file + rename) so a killed run never leaves a truncated payload
+under a valid key, and any entry that fails to unpickle or fails its
+sanity check is deleted and reported as a miss — the executor simply
+recomputes.  Hit/miss/eviction counters make behaviour observable in
+:class:`~repro.exec.stats.ExecStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro import __version__
+from repro.core.system import SystemResult
+from repro.errors import ConfigError
+
+_SUFFIX = ".pkl"
+
+
+class ResultCache:
+    """Disk-backed ``key -> SystemResult`` store with LRU-ish eviction.
+
+    ``max_entries`` bounds the directory; when exceeded, the
+    oldest-accessed entries (by file mtime, refreshed on every hit) are
+    evicted first.
+    """
+
+    def __init__(self, directory, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"*{_SUFFIX}"))
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}{_SUFFIX}"
+
+    def get(self, key: str) -> Optional[SystemResult]:
+        """Return the memoized result, or None (counting a miss).
+
+        Corrupted or non-conforming entries are deleted so the slot is
+        clean for the recomputed result.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            result = payload["result"]
+            if payload["version"] != __version__ or not isinstance(
+                result, SystemResult
+            ):
+                raise ValueError("cache entry does not match this package")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated pickle, foreign object, schema drift: recompute.
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return result
+
+    def put(self, key: str, result: SystemResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        if not isinstance(result, SystemResult):
+            raise ConfigError(f"cache stores SystemResult, got {type(result).__name__}")
+        payload = {"version": __version__, "key": key, "result": result}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            self._discard(Path(tmp_name))
+            raise
+        self.stores += 1
+        self._enforce_bound()
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob(f"*{_SUFFIX}"):
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def _enforce_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = sorted(
+            self.directory.glob(f"*{_SUFFIX}"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        while len(entries) > self.max_entries:
+            self._discard(entries.pop(0))
+            self.evictions += 1
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

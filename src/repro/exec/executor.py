@@ -1,0 +1,90 @@
+"""Parallel, memoizing sweep execution.
+
+:class:`SweepExecutor` turns a list of :class:`~repro.exec.jobs.SweepJob`
+specs into an *ordered* list of :class:`~repro.core.system.SystemResult`:
+
+* results come back in job order regardless of completion order, so
+  downstream summaries are byte-identical between serial and parallel
+  runs;
+* ``jobs=1`` executes in-process — no pool, no pickling — keeping unit
+  tests deterministic and debuggable;
+* ``jobs>1`` fans cache misses out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* an attached :class:`~repro.exec.cache.ResultCache` short-circuits any
+  job it has seen before and memoizes every fresh result.
+
+The executor keeps two stat records: ``last_stats`` for the most recent
+:meth:`run` and ``stats`` accumulated over the executor's lifetime (one
+multi-policy comparison issues several runs).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import List, Optional, Sequence
+
+from repro.core.system import SystemResult
+from repro.errors import ConfigError
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SweepJob, execute_job_timed
+from repro.exec.stats import ExecStats
+
+
+class SweepExecutor:
+    """Run sweep jobs over ``jobs`` worker processes with memoization."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = ExecStats(workers=jobs)
+        self.last_stats = ExecStats(workers=jobs)
+
+    def run(self, sweep_jobs: Sequence[SweepJob]) -> List[SystemResult]:
+        """Execute every job; results are returned in job order."""
+        start = time.perf_counter()
+        stats = ExecStats(jobs_total=len(sweep_jobs), workers=self.jobs)
+        results: List[Optional[SystemResult]] = [None] * len(sweep_jobs)
+
+        pending: List[int] = []
+        evictions_before = self.cache.evictions if self.cache is not None else 0
+        for index, job in enumerate(sweep_jobs):
+            cached = self.cache.get(job.key()) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                stats.cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending and self.jobs == 1:
+            for index in pending:
+                result, seconds = execute_job_timed(sweep_jobs[index])
+                results[index] = result
+                stats.job_seconds.append(seconds)
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_job_timed, sweep_jobs[index]): index
+                    for index in pending
+                }
+                done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    future.result()  # re-raise worker failures eagerly
+                for future, index in futures.items():
+                    result, seconds = future.result()
+                    results[index] = result
+                    stats.job_seconds.append(seconds)
+
+        if self.cache is not None:
+            for index in pending:
+                self.cache.put(sweep_jobs[index].key(), results[index])
+            stats.cache_evictions = self.cache.evictions - evictions_before
+
+        stats.jobs_run = len(pending)
+        stats.wall_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        self.stats.merge(stats)
+        return results  # type: ignore[return-value]

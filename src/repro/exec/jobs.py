@@ -1,0 +1,154 @@
+"""Picklable sweep-job specs and their content-addressed fingerprints.
+
+A :class:`SweepJob` is the unit of work of the sweep executor: one policy
+evaluated on one workload mix for one horizon.  It carries only plain data
+(policy *name*, benchmark abbreviations, cycles, keyword arguments), so it
+crosses process boundaries freely; the policy factory is resolved from
+:mod:`repro.exec.registry` inside the worker.
+
+``SweepJob.key()`` is a stable SHA-256 fingerprint of the full spec plus
+the package version — the content address under which
+:class:`~repro.exec.cache.ResultCache` memoizes the simulation's
+:class:`~repro.core.system.SystemResult`.  Fingerprints must not depend on
+object identity or dict ordering, so :func:`fingerprint` canonicalizes
+dataclasses, enums, mappings and plain objects recursively and refuses
+reprs that embed memory addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import __version__
+from repro.core.system import SystemResult
+from repro.errors import ConfigError
+from repro.exec.registry import canonical_policy_name, resolve_policy
+from repro.workloads.mixes import build_mix
+
+
+def fingerprint(value: Any) -> str:
+    """A deterministic, process-independent token for ``value``.
+
+    Handles the argument shapes sweeps actually pass (primitives,
+    sequences, mappings, enums, dataclasses such as ``QoSTarget`` /
+    ``GPUConfig``, and plain config objects such as ``EnergyModel`` whose
+    ``__dict__`` holds the knobs).  Raises :class:`ConfigError` for values
+    whose only description would embed a memory address, since those would
+    silently break cache reuse across runs.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return repr(value)
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__qualname__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(fingerprint(v) for v in value)
+        return f"[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(fingerprint(v) for v in value))
+        return f"{{{inner}}}"
+    if isinstance(value, Mapping):
+        inner = ",".join(
+            f"{fingerprint(k)}:{fingerprint(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={fingerprint(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        fields = ",".join(
+            f"{name}={fingerprint(val)}" for name, val in sorted(state.items())
+        )
+        return f"{type(value).__qualname__}({fields})"
+    text = repr(value)
+    if " at 0x" in text:
+        raise ConfigError(
+            f"cannot fingerprint {type(value).__qualname__}: repr embeds a "
+            "memory address; give it a stable __dict__ or make it a dataclass"
+        )
+    return f"{type(value).__qualname__}:{text}"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (policy, mix, horizon, kwargs) simulation, ready to ship."""
+
+    policy: str
+    mix: Tuple[str, ...]
+    total_cycles: int = 25_000_000
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ConfigError("job needs a policy name")
+        if not self.mix:
+            raise ConfigError("job needs at least one benchmark")
+        if self.total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        # Normalize so kwarg order never changes the identity of a job.
+        object.__setattr__(self, "mix", tuple(self.mix))
+        object.__setattr__(
+            self, "kwargs", tuple(sorted(tuple(self.kwargs), key=lambda kv: kv[0]))
+        )
+
+    @classmethod
+    def build(
+        cls,
+        policy: str,
+        mix,
+        total_cycles: int = 25_000_000,
+        kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> "SweepJob":
+        """Convenience constructor taking kwargs as a mapping."""
+        return cls(
+            policy=policy,
+            mix=tuple(mix),
+            total_cycles=total_cycles,
+            kwargs=tuple((kwargs or {}).items()),
+        )
+
+    @property
+    def mix_name(self) -> str:
+        return "_".join(self.mix)
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def spec(self) -> str:
+        """The canonical text the cache key hashes (version-qualified)."""
+        kw = ",".join(f"{name}={fingerprint(val)}" for name, val in self.kwargs)
+        return (
+            f"repro=={__version__};policy={canonical_policy_name(self.policy)};"
+            f"mix={self.mix_name};cycles={self.total_cycles};kwargs=({kw})"
+        )
+
+    def key(self) -> str:
+        """Content address: stable SHA-256 hex digest of :meth:`spec`."""
+        return hashlib.sha256(self.spec().encode("utf-8")).hexdigest()
+
+
+def execute_job(job: SweepJob) -> SystemResult:
+    """Run one job to completion (the worker-side entry point)."""
+    factory = resolve_policy(job.policy)
+    apps = build_mix(list(job.mix)).applications
+    system = factory(apps, **job.kwargs_dict())
+    return system.run(job.total_cycles, mix_name=job.mix_name)
+
+
+def execute_job_timed(job: SweepJob) -> Tuple[SystemResult, float]:
+    """Run one job and measure its in-worker wall-clock seconds."""
+    import time
+
+    start = time.perf_counter()
+    result = execute_job(job)
+    return result, time.perf_counter() - start

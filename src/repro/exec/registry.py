@@ -1,0 +1,108 @@
+"""Registry of named policy factories.
+
+A :class:`~repro.exec.jobs.SweepJob` carries only a *policy name*; the
+factory behind it is resolved from this registry on whichever side of a
+process boundary the job lands.  Every factory is a module-level callable
+``factory(applications, **kwargs) -> system`` so the registry contents are
+identical in the parent and in ``ProcessPoolExecutor`` workers — nothing
+unpicklable ever travels with a job.
+
+Names are case-insensitive; the canonical spellings are the lowercase CLI
+names (``bp``, ``ugpu-offline``, ...) with the benchmark-suite spellings
+(``BP``, ``CD``, ``UGPU-offline``, ...) registered as aliases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    BPBigSmallSystem,
+    BPSmallBigSystem,
+    BPSystem,
+    CDSearchSystem,
+    MPSSystem,
+)
+from repro.core.ugpu import UGPUSystem
+from repro.errors import ConfigError
+from repro.pagemove import MigrationMode
+
+PolicyFactory = Callable[..., object]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def canonical_policy_name(name: str) -> str:
+    """Map a name or alias to its canonical lowercase registry key."""
+    key = name.strip().lower()
+    return _ALIASES.get(key, key)
+
+
+def register_policy(
+    name: str,
+    factory: PolicyFactory,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+) -> PolicyFactory:
+    """Register ``factory`` under ``name`` (plus optional aliases)."""
+    key = name.strip().lower()
+    if not key:
+        raise ConfigError("policy name cannot be empty")
+    if key in _REGISTRY and not replace:
+        raise ConfigError(f"policy {name!r} already registered")
+    _REGISTRY[key] = factory
+    for alias in aliases:
+        _ALIASES[alias.strip().lower()] = key
+    return factory
+
+
+def resolve_policy(name: str) -> PolicyFactory:
+    """Look up a factory by (case-insensitive) name or alias."""
+    key = canonical_policy_name(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown policy {name!r}; registered: {known}") from None
+
+
+def policy_name_of(factory: PolicyFactory) -> Optional[str]:
+    """Reverse lookup: the canonical name of a registered factory, or None.
+
+    Lets the sweep layer accept the registered callables themselves
+    (``compare_policies({"BP": BPSystem, ...})``) and still hand the work
+    to the process pool by name.
+    """
+    for key, registered in _REGISTRY.items():
+        if registered is factory:
+            return key
+    return None
+
+
+def registered_policies() -> List[str]:
+    """Sorted canonical policy names."""
+    return sorted(_REGISTRY)
+
+
+def ugpu_offline(apps, **kwargs):
+    return UGPUSystem(apps, offline=True, **kwargs)
+
+
+def ugpu_software(apps, **kwargs):
+    return UGPUSystem(apps, mode=MigrationMode.SOFTWARE, **kwargs)
+
+
+def ugpu_traditional(apps, **kwargs):
+    return UGPUSystem(apps, mode=MigrationMode.TRADITIONAL, **kwargs)
+
+
+register_policy("bp", BPSystem)
+register_policy("bp-bs", BPBigSmallSystem)
+register_policy("bp-sb", BPSmallBigSystem)
+register_policy("mps", MPSSystem)
+register_policy("cd-search", CDSearchSystem, aliases=("cd",))
+register_policy("ugpu", UGPUSystem)
+register_policy("ugpu-offline", ugpu_offline)
+register_policy("ugpu-soft", ugpu_software, aliases=("ugpu-software",))
+register_policy("ugpu-ori", ugpu_traditional, aliases=("ugpu-traditional",))

@@ -1,0 +1,76 @@
+"""Execution statistics for sweep runs.
+
+:class:`ExecStats` is how the executor proves its worth: it counts jobs,
+cache hits and evictions, and records per-job in-worker seconds so the
+CLI can print p50/p95 next to the end-to-end wall-clock.  Stats objects
+merge, so one :class:`~repro.exec.executor.SweepExecutor` can accumulate
+a whole multi-policy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class ExecStats:
+    """Counters and timings for one or more executor runs."""
+
+    jobs_total: int = 0
+    jobs_run: int = 0
+    cache_hits: int = 0
+    cache_evictions: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+    job_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def p50_seconds(self) -> float:
+        return _percentile(self.job_seconds, 0.50)
+
+    @property
+    def p95_seconds(self) -> float:
+        return _percentile(self.job_seconds, 0.95)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs_total if self.jobs_total else 0.0
+
+    def merge(self, other: "ExecStats") -> "ExecStats":
+        """Fold another run's counters into this one (in place)."""
+        self.jobs_total += other.jobs_total
+        self.jobs_run += other.jobs_run
+        self.cache_hits += other.cache_hits
+        self.cache_evictions += other.cache_evictions
+        self.wall_seconds += other.wall_seconds
+        self.workers = max(self.workers, other.workers)
+        self.job_seconds.extend(other.job_seconds)
+        return self
+
+    def format(self) -> str:
+        """One-line human summary, e.g. for the CLI footer."""
+        parts = [
+            f"jobs {self.jobs_total}",
+            f"run {self.jobs_run}",
+            f"cache hits {self.cache_hits} ({self.hit_rate:.0%})",
+            f"workers {self.workers}",
+            f"wall {self.wall_seconds:.2f}s",
+        ]
+        if self.job_seconds:
+            parts.append(
+                f"per-job p50 {self.p50_seconds * 1e3:.1f}ms "
+                f"p95 {self.p95_seconds * 1e3:.1f}ms"
+            )
+        if self.cache_evictions:
+            parts.append(f"evictions {self.cache_evictions}")
+        return "ExecStats: " + "  ".join(parts)

@@ -30,10 +30,21 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     tag: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when its time comes."""
+        """Mark the event so the queue skips it when its time comes.
+
+        Idempotent; cancelling after the event has fired is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
 
 class SimClock:
@@ -83,9 +94,12 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._fired = 0
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        # O(1): a live-event counter maintained on schedule/cancel/fire,
+        # rather than scanning the heap past lazily-cancelled entries.
+        return self._live
 
     @property
     def events_fired(self) -> int:
@@ -98,8 +112,12 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event in the past: now={self.clock.now}, time={time}"
             )
-        event = Event(time=int(time), seq=next(self._counter), action=action, tag=tag)
+        event = Event(
+            time=int(time), seq=next(self._counter), action=action, tag=tag,
+            _queue=self,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_in(self, delay: int, action: Callable[[], Any], tag: str = "") -> Event:
@@ -119,6 +137,8 @@ class EventQueue:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        self._live -= 1
+        event._queue = None  # a later cancel() must not double-count
         self.clock.advance_to(event.time)
         event.action()
         self._fired += 1

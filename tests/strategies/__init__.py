@@ -1,0 +1,26 @@
+"""Shared Hypothesis profiles/strategies for the property-test modules.
+
+Usage::
+
+    from tests.strategies import STANDARD_SETTINGS
+
+    @STANDARD_SETTINGS
+    @given(...)
+    def test_invariant(...): ...
+"""
+
+from tests.strategies.settings import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+    STATE_MACHINE_SETTINGS,
+)
+
+__all__ = [
+    "DETERMINISM_SETTINGS",
+    "QUICK_SETTINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+    "STATE_MACHINE_SETTINGS",
+]

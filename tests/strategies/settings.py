@@ -1,0 +1,28 @@
+"""Standardized Hypothesis settings profiles for property tests.
+
+Every property module picks a tier instead of scattering ad-hoc
+``max_examples`` values, so example budgets are explicit and tuned in
+one place:
+
+- ``DETERMINISM_SETTINGS``: 200 examples — hash/canonical-key stability
+  (cache keys must never drift between processes or runs);
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests;
+- ``SLOW_SETTINGS``: 50 examples — tests whose single example is costly
+  (full command-sequence replays, multi-epoch simulations);
+- ``QUICK_SETTINGS``: 20 examples — fast validation checks;
+- ``STATE_MACHINE_SETTINGS``: stateful rule-based tests (bounded step
+  count, no deadline — step cost varies with machine state).
+
+``settings`` instances are decorators: stack them under ``@given`` as
+``@STANDARD_SETTINGS``.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=200, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)
+STATE_MACHINE_SETTINGS = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

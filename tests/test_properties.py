@@ -2,7 +2,7 @@
 invariants."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import DemandAwarePartitioner, PartitionState
@@ -12,6 +12,7 @@ from repro.gpu.llc import SetAssociativeCache
 from repro.metrics import AppRun, antt, stp
 from repro.pagemove import MigrationCostModel, MigrationMode, PageMoveAddressMapping
 from repro.sim import EventQueue
+from tests.strategies import SLOW_SETTINGS
 from repro.vm import TLB, PageTable
 
 CONFIG = GPUConfig()
@@ -237,7 +238,7 @@ PROFILES = st.tuples(
 )
 
 
-@settings(max_examples=60)
+@SLOW_SETTINGS
 @given(st.lists(PROFILES, min_size=2, max_size=4))
 def test_partitioner_conserves_budget_and_minimums(raw_profiles):
     app_ids = list(range(len(raw_profiles)))

@@ -2,7 +2,6 @@
 (hypothesis RuleBasedStateMachine)."""
 
 import pytest
-from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -14,6 +13,7 @@ from hypothesis.stateful import (
 from repro.errors import AllocationError
 from repro.pagemove import InterleavedPageMapping, PageMoveAddressMapping
 from repro.vm import FaultKind, GPUDriver
+from tests.strategies import STATE_MACHINE_SETTINGS
 
 PAGES_PER_CHANNEL = 12
 CHANNELS = 8
@@ -116,7 +116,5 @@ class DriverMachine(RuleBasedStateMachine):
                 assert entry is not None and entry.rpn == rpn
 
 
-DriverMachine.TestCase.settings = settings(
-    max_examples=40, stateful_step_count=40, deadline=None
-)
+DriverMachine.TestCase.settings = STATE_MACHINE_SETTINGS
 TestDriverStateMachine = DriverMachine.TestCase

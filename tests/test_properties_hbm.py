@@ -3,11 +3,12 @@ command sequences never corrupt timing state — every issue either
 succeeds at a legal cycle or raises ProtocolError, and time claims are
 monotone per resource."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.hbm import Channel, HBMConfig, activate, migration, precharge, read, write
+from tests.strategies import SLOW_SETTINGS, STANDARD_SETTINGS
 
 CONFIG = HBMConfig()
 
@@ -37,7 +38,7 @@ def build(kind, bg, bank, row, col):
                      tsv_index=2)
 
 
-@settings(max_examples=80)
+@STANDARD_SETTINGS
 @given(COMMANDS)
 def test_random_sequences_at_legal_times_always_issue(ops):
     """Issuing every command at its own earliest_issue time never raises:
@@ -59,7 +60,7 @@ def test_random_sequences_at_legal_times_always_issue(ops):
         now = at
 
 
-@settings(max_examples=80)
+@STANDARD_SETTINGS
 @given(COMMANDS, st.integers(min_value=0, max_value=5))
 def test_issuing_too_early_raises_not_corrupts(ops, hurry):
     """Issuing ``hurry`` cycles before the legal time either still is
@@ -85,7 +86,7 @@ def test_issuing_too_early_raises_not_corrupts(ops, hurry):
                 assert "earliest legal cycle" not in str(error), error
 
 
-@settings(max_examples=50)
+@SLOW_SETTINGS
 @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
                           st.integers(min_value=0, max_value=15)),
                 min_size=1, max_size=40))

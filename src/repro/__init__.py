@@ -48,6 +48,16 @@ from repro.pagemove import (
     MigrationMode,
     PageMoveAddressMapping,
 )
+from repro.trace import (
+    TraceCategory,
+    TraceEvent,
+    TraceRecorder,
+    TraceSummary,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.workloads import (
     TABLE2,
     build_ai_application,
@@ -114,6 +124,15 @@ __all__ = [
     "stp",
     "antt",
     "EnergyModel",
+    # Tracing
+    "TraceCategory",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSummary",
+    "read_jsonl",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
     # Sweep execution engine
     "ExecStats",
     "ResultCache",

@@ -26,12 +26,12 @@ class BPSystem(MultitaskSystem):
 
     def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
                  energy_model=None, qos_big_first: bool = False,
-                 total_memory_bytes=None) -> None:
+                 total_memory_bytes=None, tracer=None) -> None:
         #: QoS-aware BP gives the first (high-priority) app the big
         #: partition (Section 6.7); plain BP splits evenly.
         self._qos_big_first = qos_big_first
         kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
-                  "total_memory_bytes": total_memory_bytes}
+                  "total_memory_bytes": total_memory_bytes, "tracer": tracer}
         if config is not None:
             kwargs["config"] = config
         super().__init__(applications, **kwargs)

@@ -30,8 +30,9 @@ class CDSearchSystem(MultitaskSystem):
 
     def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
                  energy_model=None, sm_step: int = 4,
-                 tb_duration_cycles: float = 200_000.0) -> None:
-        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model}
+                 tb_duration_cycles: float = 200_000.0, tracer=None) -> None:
+        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
+                  "tracer": tracer}
         if config is not None:
             kwargs["config"] = config
         super().__init__(applications, **kwargs)

@@ -31,7 +31,7 @@ class MPSSystem(MultitaskSystem):
     def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
                  energy_model=None,
                  sm_assignment: Optional[Dict[int, int]] = None,
-                 contention_overhead: float = 0.18) -> None:
+                 contention_overhead: float = 0.18, tracer=None) -> None:
         """``sm_assignment`` fixes per-app SM counts (the paper's offline
         analysis gives a high-priority app 60 SMs); default is an even
         split.  ``contention_overhead`` models row-buffer locality loss and
@@ -41,7 +41,8 @@ class MPSSystem(MultitaskSystem):
         if not 0.0 <= contention_overhead < 1.0:
             raise AllocationError("contention_overhead must be in [0, 1)")
         self.contention_overhead = contention_overhead
-        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model}
+        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
+                  "tracer": tracer}
         if config is not None:
             kwargs["config"] = config
         super().__init__(applications, **kwargs)

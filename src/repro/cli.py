@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --policies bp ugpu      # 50 heterogeneous mixes
     python -m repro sweep --policies bp ugpu --jobs 8   # process-pool fan-out
     python -m repro qos --target 0.75             # Figure 16 scenario
+    python -m repro trace --mix PVC,DXTC          # timeline -> JSONL + Perfetto
 
 ``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
 fans the independent simulations out over N worker processes, and
@@ -15,6 +16,11 @@ results are memoized under ``--cache-dir`` (default
 ``~/.cache/repro/sweeps`` or ``$REPRO_CACHE_DIR``) so repeated
 invocations cost near-zero; ``--no-cache`` forces fresh simulation.
 An ``ExecStats`` footer reports jobs run, cache hits and wall-clock.
+
+``trace`` runs one mix with a :mod:`repro.trace` recorder attached and
+writes the timeline as JSONL (``<prefix>.jsonl``) and/or a Chrome-trace
+file (``<prefix>.chrome.json``) that loads in ``chrome://tracing`` and
+Perfetto, then prints the derived summary metrics.
 """
 
 from __future__ import annotations
@@ -98,6 +104,27 @@ def _parser() -> argparse.ArgumentParser:
     qos.add_argument("--target", type=float, default=0.75,
                      help="normalized-progress floor for the second app")
     qos.add_argument("--cycles", type=int, default=25_000_000)
+
+    trace = sub.add_parser("trace", help="run one mix with tracing enabled "
+                                         "and export the timeline")
+    trace.add_argument("--mix", default="PVC,DXTC",
+                       help="comma-separated benchmark abbreviations")
+    trace.add_argument("--policy", default="ugpu",
+                       choices=registered_policies(),
+                       help="policy to trace (default: ugpu)")
+    trace.add_argument("--cycles", type=int, default=25_000_000,
+                       help="simulation horizon in GPU cycles")
+    trace.add_argument("--output", default="trace", metavar="PREFIX",
+                       help="output path prefix (default: ./trace)")
+    trace.add_argument("--format", choices=["jsonl", "chrome", "both"],
+                       default="both", help="which export(s) to write")
+    trace.add_argument("--capacity", type=_positive_int, default=65_536,
+                       help="trace ring-buffer capacity in events")
+    trace.add_argument("--categories", nargs="+", default=None,
+                       metavar="CAT",
+                       help="record only these categories (default: all)")
+    trace.add_argument("--clock-ghz", type=float, default=1.0,
+                       help="GPU clock for Chrome-trace timestamps")
 
     export = sub.add_parser("export", help="write a figure's data series "
                                            "as CSV (for plotting)")
@@ -185,6 +212,40 @@ def cmd_qos(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one traced simulation and export/summarize the timeline."""
+    from repro.exec import resolve_policy
+    from repro.trace import (
+        TraceRecorder,
+        summarize,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    abbrs = [a.strip() for a in args.mix.split(",") if a.strip()]
+    recorder = TraceRecorder(capacity=args.capacity, categories=args.categories)
+    factory = resolve_policy(args.policy)
+    system = factory(build_mix(abbrs).applications, tracer=recorder)
+    result = system.run(args.cycles, mix_name="_".join(abbrs))
+    print(f"{result.policy} on {result.mix_name}: STP {result.stp:.3f}  "
+          f"ANTT {result.antt:.2f}  repartitions {result.repartitions}\n")
+
+    events = recorder.events()
+    if args.format in ("jsonl", "both"):
+        path = f"{args.output}.jsonl"
+        print(f"wrote {write_jsonl(events, path)} events to {path}")
+    if args.format in ("chrome", "both"):
+        path = f"{args.output}.chrome.json"
+        count = write_chrome_trace(events, path, clock_ghz=args.clock_ghz)
+        print(f"wrote {count} trace records to {path} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if recorder.dropped:
+        print(f"note: ring buffer dropped {recorder.dropped} oldest events "
+              f"(--capacity {args.capacity})")
+    print(f"\n{summarize(events).format()}")
+    return 0
+
+
 def cmd_export(args) -> int:
     """Regenerate a motivation figure's series as CSV."""
     from repro import GPUConfig, PerformanceModel
@@ -235,6 +296,7 @@ def main(argv: Sequence[str] = None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "qos": cmd_qos,
+        "trace": cmd_trace,
         "export": cmd_export,
     }
     return handlers[args.command](args)

@@ -114,12 +114,17 @@ class MultitaskSystem:
         epoch_cycles: int = 5_000_000,
         energy_model: Optional[EnergyModel] = None,
         total_memory_bytes: Optional[int] = None,
+        tracer=None,
     ) -> None:
         """``total_memory_bytes`` enables memory-oversubscription modelling
         (paper Sections 3.2 and 5): each slice's capacity is proportional
         to its channel share, and applications whose footprint exceeds it
         pay far-fault overhead via
-        :class:`repro.vm.oversubscription.FaultOverheadModel`."""
+        :class:`repro.vm.oversubscription.FaultOverheadModel`.
+
+        ``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
+        ``epoch`` span per simulated epoch; policy subclasses add
+        ``realloc``/``qos``/``migration`` records on top."""
         if not applications:
             raise ConfigError("need at least one application")
         config.validate()
@@ -131,6 +136,10 @@ class MultitaskSystem:
         self.fault_model = (
             FaultOverheadModel(config) if total_memory_bytes is not None else None
         )
+        self.tracer = tracer
+        #: Cycle stamp for trace records emitted outside :meth:`_step`
+        #: (e.g. QoS enforcement during construction happens at cycle 0).
+        self._trace_now = 0
         self.partition = self.initial_partition(applications)
         self.apps: Dict[int, AppState] = {}
         for app in applications:
@@ -214,6 +223,7 @@ class MultitaskSystem:
             repartitioned=False,
         )
         before = self.repartitions
+        self._trace_now = result.end_cycle
         self.at_epoch_end(epoch_index, span)
         result.repartitioned = self.repartitions > before
         # Snapshot the (possibly just-updated) partition for dynamics
@@ -222,6 +232,14 @@ class MultitaskSystem:
             app_id: (state.allocation.sms, state.allocation.channels)
             for app_id, state in self.apps.items()
         }
+        if self.tracer is not None:
+            self.tracer.emit(
+                "epoch", f"epoch[{epoch_index}]",
+                time=result.start_cycle, duration=span,
+                instructions=sum(instructions.values()),
+                migration_cycles=result.migration_cycles,
+                repartitioned=result.repartitioned,
+            )
         return result
 
     # ------------------------------------------------------------------

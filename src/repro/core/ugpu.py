@@ -68,6 +68,7 @@ class UGPUSystem(MultitaskSystem):
         flush_window_cycles: float = 800_000.0,
         flush_factor: float = 0.35,
         hysteresis: float = 0.0,
+        tracer=None,
     ) -> None:
         """``hysteresis``: minimum estimated relative STP gain required to
         actually apply a new partition.  The paper notes that for
@@ -76,7 +77,7 @@ class UGPUSystem(MultitaskSystem):
         3.3); a small hysteresis (e.g. 0.03) suppresses such churn.  The
         default 0 reproduces the paper's always-apply behaviour."""
         super().__init__(applications, config, epoch_cycles, energy_model,
-                         total_memory_bytes=total_memory_bytes)
+                         total_memory_bytes=total_memory_bytes, tracer=tracer)
         self.mode = mode
         self.offline = offline
         self.qos = qos
@@ -195,9 +196,25 @@ class UGPUSystem(MultitaskSystem):
             previous, decision.allocations, profiles
         ):
             self.suppressed_repartitions += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "realloc", "suppress", time=self._trace_now,
+                    epoch=epoch_index, hysteresis=self.hysteresis,
+                )
             return
         self.apply_partition(decision.allocations)
         self.repartitions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "realloc", "apply", time=self._trace_now,
+                epoch=epoch_index,
+                iterations=decision.iterations,
+                latency_cycles=decision.latency_cycles,
+                allocations={
+                    app_id: [alloc.sms, alloc.channels]
+                    for app_id, alloc in decision.allocations.items()
+                },
+            )
         self._charge_reallocation(previous, decision, profiles)
 
     def _worth_applying(self, previous, proposed, profiles) -> bool:
@@ -281,6 +298,18 @@ class UGPUSystem(MultitaskSystem):
                     break
             if not moved:
                 break
+        if self.tracer is not None:
+            before_alloc = decision.allocations[target.app_id]
+            after_alloc = allocations[target.app_id]
+            if after_alloc != before_alloc:
+                self.tracer.emit(
+                    "qos", "enforce", time=self._trace_now,
+                    app_id=target.app_id,
+                    target_np=self.qos.target_np,
+                    estimated_np=np_now(),
+                    granted_sms=after_alloc.sms - before_alloc.sms,
+                    granted_channels=after_alloc.channels - before_alloc.channels,
+                )
         decision.allocations = allocations
         return decision
 
@@ -333,6 +362,13 @@ class UGPUSystem(MultitaskSystem):
                     app_id, charge.cycles, min(1.0, moved_sms / new.sms)
                 )
                 state.migrated_bytes += charge.dram_bytes
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "realloc", "sm-handover", time=self._trace_now,
+                        duration=charge.cycles, app_id=app_id,
+                        policy=charge.policy.value, sms=moved_sms,
+                        dram_bytes=charge.dram_bytes,
+                    )
 
             resident = self._resident_pages(state)
             lost = max(0, old.channels - new.channels)
@@ -352,6 +388,13 @@ class UGPUSystem(MultitaskSystem):
                 )
                 state.migrated_bytes += charge.bytes_moved
                 self._charge_global(charge)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "migration", "eager", time=self._trace_now,
+                        duration=charge.window_cycles, app_id=app_id,
+                        pages=eager_pages, mode=self.mode.value,
+                        lost_channels=lost, bytes_moved=charge.bytes_moved,
+                    )
 
             if gained and new.channels > 0:
                 rebalance_pages = min(
@@ -386,6 +429,14 @@ class UGPUSystem(MultitaskSystem):
                     )
                 state.migrated_bytes += charge.bytes_moved
                 self._charge_global(charge)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "migration", "rebalance", time=self._trace_now,
+                        duration=charge.window_cycles, app_id=app_id,
+                        pages=rebalance_pages, mode=self.mode.value,
+                        gained_channels=gained,
+                        bytes_moved=charge.bytes_moved,
+                    )
 
     def _charge_global(self, charge) -> None:
         """TRADITIONAL migrations pollute the NoC/LLC for everyone."""

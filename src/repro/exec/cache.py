@@ -28,6 +28,7 @@ from repro.core.system import SystemResult
 from repro.errors import ConfigError
 
 _SUFFIX = ".pkl"
+_TMP_PREFIX = ".tmp-"
 
 
 class ResultCache:
@@ -49,8 +50,19 @@ class ResultCache:
         self.stores = 0
         self.evictions = 0
 
+    def _entries(self):
+        """Finished entries only.  ``Path.glob`` matches dotfiles, so the
+        plain ``*.pkl`` pattern also catches ``.tmp-*.pkl`` files another
+        process is still writing; counting those overstates the bound and
+        evicting one races its ``os.replace`` into ``FileNotFoundError``."""
+        return (
+            path
+            for path in self.directory.glob(f"*{_SUFFIX}")
+            if not path.name.startswith(_TMP_PREFIX)
+        )
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob(f"*{_SUFFIX}"))
+        return sum(1 for _ in self._entries())
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}{_SUFFIX}"
@@ -101,9 +113,13 @@ class ResultCache:
         self._enforce_bound()
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every finished entry; returns how many were removed.
+
+        In-flight ``.tmp-*`` files are left alone — their writer's
+        ``os.replace`` still needs them.
+        """
         removed = 0
-        for path in self.directory.glob(f"*{_SUFFIX}"):
+        for path in self._entries():
             self._discard(path)
             removed += 1
         return removed
@@ -112,7 +128,7 @@ class ResultCache:
         if self.max_entries is None:
             return
         entries = sorted(
-            self.directory.glob(f"*{_SUFFIX}"),
+            self._entries(),
             key=lambda p: (p.stat().st_mtime, p.name),
         )
         while len(entries) > self.max_entries:

@@ -34,11 +34,17 @@ from repro.exec.stats import ExecStats
 class SweepExecutor:
     """Run sweep jobs over ``jobs`` worker processes with memoization."""
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 tracer=None) -> None:
+        """``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
+        ``cache`` hit/miss record per job plus one ``job`` span per
+        executed job.  Exec-layer timestamps/durations are wall-clock
+        seconds relative to :meth:`run` entry, not GPU cycles."""
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.tracer = tracer
         self.stats = ExecStats(workers=jobs)
         self.last_stats = ExecStats(workers=jobs)
 
@@ -57,12 +63,19 @@ class SweepExecutor:
                 stats.cache_hits += 1
             else:
                 pending.append(index)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "cache", "hit" if cached is not None else "miss",
+                    time=time.perf_counter() - start,
+                    policy=job.policy, mix=job.mix_name,
+                )
 
         if pending and self.jobs == 1:
             for index in pending:
                 result, seconds = execute_job_timed(sweep_jobs[index])
                 results[index] = result
                 stats.job_seconds.append(seconds)
+                self._trace_job(sweep_jobs[index], seconds, start)
         elif pending:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -77,6 +90,7 @@ class SweepExecutor:
                     result, seconds = future.result()
                     results[index] = result
                     stats.job_seconds.append(seconds)
+                    self._trace_job(sweep_jobs[index], seconds, start)
 
         if self.cache is not None:
             for index in pending:
@@ -88,3 +102,15 @@ class SweepExecutor:
         self.last_stats = stats
         self.stats.merge(stats)
         return results  # type: ignore[return-value]
+
+    def _trace_job(self, job: SweepJob, seconds: float, start: float) -> None:
+        """Emit one ``job`` span (end-anchored: completion time is known,
+        in-worker start is not) for an executed job."""
+        if self.tracer is None:
+            return
+        end = time.perf_counter() - start
+        self.tracer.emit(
+            "job", f"{job.policy}:{job.mix_name}",
+            time=max(0.0, end - seconds), duration=seconds,
+            policy=job.policy, mix=job.mix_name, cycles=job.total_cycles,
+        )

@@ -101,8 +101,10 @@ class MigrationEngine:
         l1_tlbs: Optional[Sequence[TLB]] = None,
         registry: Optional[ChannelStatusRegister] = None,
         mode: MigrationMode = MigrationMode.PPMM,
+        tracer=None,
     ) -> None:
         self.driver = driver
+        self.tracer = tracer
         self.mapping = mapping if mapping is not None else PageMoveAddressMapping()
         self.cost_model = (
             cost_model if cost_model is not None else MigrationCostModel(mapping=self.mapping)
@@ -156,7 +158,12 @@ class MigrationEngine:
                 (c for c in old & new),
                 key=lambda c: -counts.get(c, 0),
             )
-            need = {g: target for g in gained}
+            # A gained channel may already hold pages (a previous
+            # reallocation's lazy batch, or demand faults since the
+            # channel was last owned); its need is the shortfall to the
+            # balance target, never the full target, or back-to-back
+            # reallocations over-migrate into partially filled channels.
+            need = {g: max(0, target - counts.get(g, 0)) for g in gained}
             for donor in donors:
                 surplus = counts.get(donor, 0) - target
                 if surplus <= 0:
@@ -176,6 +183,13 @@ class MigrationEngine:
                     surplus -= 1
                     if budget is not None:
                         budget -= 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "migration", "plan", app_id=app_id,
+                eager=len(plan.eager), lazy=len(plan.lazy),
+                lost_channels=sorted(plan.lost_channels),
+                gained_channels=sorted(plan.gained_channels),
+            )
         return plan
 
     # ------------------------------------------------------------------
@@ -193,7 +207,14 @@ class MigrationEngine:
         # 1. Flush L1 TLBs (all SMs revalidate through the L2 TLB).
         l1_flushed = sum(tlb.flush() for tlb in self.l1_tlbs)
 
-        # 2. Program the channel-status register.
+        # 2. Program the channel-status register.  The register's status
+        # bit is a single bit, so a plan that both loses and gains
+        # channels must pick one direction: LOST wins.  Vacating
+        # deallocated channels is the coherence-critical work of Section
+        # 4.4 — marking the kept set (new_channels) routes every
+        # translation landing outside it to a LOST_CHANNEL fault — while
+        # the gained-side rebalance proceeds lazily via demand faults
+        # without needing register guidance.
         if plan.lost_channels:
             self.registry.set_lost(app_id, sorted(plan.new_channels))
         elif plan.gained_channels:
@@ -208,8 +229,13 @@ class MigrationEngine:
         lazy_moves = plan.lazy if include_lazy else []
         l2_invalidated += self._move_pages(lazy_moves, FaultKind.REBALANCE)
 
-        # 5. Clear the register once balanced (Section 4.4).
-        if self.driver.is_balanced(app_id, tolerance=max(1, len(plan.new_channels))):
+        # 5. Clear the register once balanced (Section 4.4).  Tolerance 1
+        # matches GPUDriver.is_balanced's default and the paper's
+        # clearing condition: per-channel page counts within one page of
+        # each other.  (A tolerance scaled by channel count would declare
+        # an 8-channel app "balanced" at a max-min spread of 8 pages and
+        # clear the register while rebalancing is still in flight.)
+        if self.driver.is_balanced(app_id, tolerance=1):
             self.registry.clear(app_id)
 
         report = MigrationReport(
@@ -220,6 +246,18 @@ class MigrationEngine:
             l2_entries_invalidated=l2_invalidated,
         )
         self.reports.append(report)
+        if self.tracer is not None:
+            direction = self.registry.direction(app_id)
+            self.tracer.emit(
+                "migration", "execute",
+                duration=report.window_cycles, app_id=app_id,
+                eager=len(plan.eager), lazy=len(lazy_moves),
+                mode=self.mode.value,
+                l1_flushed=l1_flushed, l2_invalidated=l2_invalidated,
+                register=direction.name.lower() if direction else "cleared",
+                eager_cycles=report.eager_charge.window_cycles,
+                lazy_cycles=report.lazy_charge.window_cycles,
+            )
         return report
 
     def _check_capacity(self, plan: MigrationPlan, include_lazy: bool) -> None:

@@ -87,10 +87,15 @@ class EventQueue:
     The queue owns a :class:`SimClock`; :meth:`run_until` pops events in
     timestamp order, advancing the clock to each event's time before
     invoking its action.  Actions may schedule further events.
+
+    ``tracer``, when given, receives one ``event``-category record per
+    fired event (after its action ran), carrying the event's tag and
+    schedule sequence number.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(self, clock: Optional[SimClock] = None, tracer=None) -> None:
         self.clock = clock if clock is not None else SimClock()
+        self.tracer = tracer
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._fired = 0
@@ -142,6 +147,11 @@ class EventQueue:
         self.clock.advance_to(event.time)
         event.action()
         self._fired += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "event", event.tag or "event", time=event.time,
+                event_seq=event.seq,
+            )
         return event
 
     def run_until(self, time: int) -> int:

@@ -1,0 +1,126 @@
+"""Trace exporters: JSONL (machine-readable) and Chrome-trace (visual).
+
+Two formats cover the two consumers:
+
+* **JSONL** — one :meth:`~repro.trace.recorder.TraceEvent.to_dict`
+  record per line.  Greppable, streamable, round-trippable
+  (:func:`read_jsonl` reconstructs the exact event list), and the format
+  the CI smoke test validates.
+* **Chrome trace** — the ``chrome://tracing`` / `Perfetto
+  <https://ui.perfetto.dev>`_ JSON object format.  ``span`` events
+  become complete (``"ph": "X"``) slices, ``instant`` events become
+  global instants (``"ph": "i"``); rows (``tid``) are one per category,
+  with per-app sub-rows when the event carries an ``app_id``.
+
+Simulation-layer timestamps are GPU cycles; Chrome traces want
+microseconds, so :func:`chrome_trace` divides by ``clock_ghz * 1000``
+cycles-per-microsecond (default 1 GHz, so 1 ms of trace = 1M cycles).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.trace.recorder import KIND_SPAN, TraceEvent
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Write one JSON record per line; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Read a JSONL trace back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise ConfigError(
+                    f"{path}:{line_no}: malformed trace record: {exc}"
+                ) from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+def _tid_table(events: Sequence[TraceEvent]) -> Dict[tuple, int]:
+    """Stable row ids: one row per (category, app_id-or-None), in first-
+    appearance order so the Perfetto track layout is deterministic."""
+    table: Dict[tuple, int] = {}
+    for event in events:
+        row = (event.category, event.args.get("app_id"))
+        if row not in table:
+            table[row] = len(table)
+    return table
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent], clock_ghz: float = 1.0
+) -> Dict[str, Any]:
+    """Build the Chrome-trace JSON object for ``events``.
+
+    The result loads directly in ``chrome://tracing`` and Perfetto.
+    """
+    if clock_ghz <= 0:
+        raise ConfigError(f"clock_ghz must be positive, got {clock_ghz}")
+    cycles_per_us = clock_ghz * 1000.0
+    rows = _tid_table(events)
+    trace_events: List[Dict[str, Any]] = []
+    for (category, app_id), tid in sorted(rows.items(), key=lambda kv: kv[1]):
+        label = category if app_id is None else f"{category} (app {app_id})"
+        trace_events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": label},
+        })
+    for event in events:
+        tid = rows[(event.category, event.args.get("app_id"))]
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": 0,
+            "tid": tid,
+            "ts": event.time / cycles_per_us,
+            "args": dict(event.args),
+        }
+        if event.kind == KIND_SPAN:
+            record["ph"] = "X"
+            record["dur"] = event.duration / cycles_per_us
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.trace", "clock_ghz": clock_ghz},
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: PathLike, clock_ghz: float = 1.0
+) -> int:
+    """Write the Chrome-trace JSON; returns the number of trace events."""
+    payload = chrome_trace(events, clock_ghz=clock_ghz)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(payload["traceEvents"])

@@ -1,0 +1,240 @@
+"""Typed, ring-buffered trace recording (zero overhead when disabled).
+
+The reproduction's headline claims are *time-resolved*: Figure 11's
+PageMove breakdown, Figure 12a's per-epoch reallocation occupancy and
+Figure 16's QoS interventions are all stories about *when* something
+happened, not just how much of it.  :class:`TraceRecorder` is the shared
+substrate every silent layer reports into:
+
+* :class:`~repro.sim.engine.EventQueue` — event fire hooks (``event``);
+* :class:`~repro.core.system.MultitaskSystem` — epoch boundaries
+  (``epoch``) and, in :class:`~repro.core.ugpu.UGPUSystem`, partition
+  decisions (``realloc``), QoS interventions (``qos``) and migration
+  windows (``migration``);
+* :class:`~repro.pagemove.engine.MigrationEngine` — plan sizes and
+  execution charges (``migration``);
+* :class:`~repro.vm.driver.GPUDriver` — faults by kind (``fault``);
+* :class:`~repro.exec.executor.SweepExecutor` — job start/end (``job``)
+  and cache hits/misses (``cache``).
+
+Design constraints, in order:
+
+1. **Zero overhead when absent.**  Every instrumented component defaults
+   ``tracer=None`` and guards each emission with a single ``is not
+   None`` check, so untraced simulations produce byte-identical results.
+2. **Bounded memory.**  The buffer is a ring (``collections.deque`` with
+   ``maxlen``): a 25M-cycle sweep cannot OOM the recorder; ``dropped``
+   counts evictions so truncation is never silent.
+3. **Typed records.**  :class:`TraceEvent` is plain data — category,
+   name, time, optional duration, free-form args — so exporters
+   (:mod:`repro.trace.export`) and summaries (:mod:`repro.trace.summary`)
+   need no knowledge of the emitting layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Union
+
+from repro.errors import ConfigError
+
+
+class TraceCategory(str, enum.Enum):
+    """The event categories the instrumented layers emit.
+
+    Members are ``str`` subclasses so category filters and exported
+    records can use the plain lowercase names interchangeably.
+    """
+
+    EPOCH = "epoch"          #: epoch boundaries (Figure 12a's x-axis)
+    REALLOC = "realloc"      #: partition decisions applied/suppressed
+    MIGRATION = "migration"  #: migration plans, windows and charges
+    FAULT = "fault"          #: driver faults by kind (demand/lost/rebalance)
+    QOS = "qos"              #: QoS enforcement interventions (Figure 16)
+    CACHE = "cache"          #: result-cache hits and misses
+    EVENT = "event"          #: raw discrete-event fires (EventQueue)
+    JOB = "job"              #: sweep-executor job start/end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Event kinds: a ``span`` covers ``[time, time + duration)``; an
+#: ``instant`` is a point sample.
+KIND_INSTANT = "instant"
+KIND_SPAN = "span"
+
+_VALID_CATEGORIES = frozenset(c.value for c in TraceCategory)
+
+
+def _category_value(category: Union[str, TraceCategory]) -> str:
+    value = category.value if isinstance(category, TraceCategory) else str(category)
+    if value not in _VALID_CATEGORIES:
+        raise ConfigError(
+            f"unknown trace category {value!r}; known: "
+            f"{', '.join(sorted(_VALID_CATEGORIES))}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed trace record.
+
+    ``time`` and ``duration`` are in the emitting component's native
+    clock domain — GPU cycles for the simulation layers, seconds for the
+    sweep executor.  ``seq`` is a recorder-global monotonic counter that
+    preserves emission order across same-timestamp events.
+    """
+
+    seq: int
+    time: float
+    category: str
+    name: str
+    kind: str = KIND_INSTANT
+    duration: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_time(self) -> float:
+        return self.time + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat, JSON-ready mapping (the JSONL record shape)."""
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "ts": self.time,
+            "cat": self.category,
+            "name": self.name,
+            "kind": self.kind,
+        }
+        if self.duration:
+            record["dur"] = self.duration
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict` (the JSONL reader)."""
+        return cls(
+            seq=int(record["seq"]),
+            time=float(record["ts"]),
+            category=str(record["cat"]),
+            name=str(record["name"]),
+            kind=str(record.get("kind", KIND_INSTANT)),
+            duration=float(record.get("dur", 0.0)),
+            args=dict(record.get("args", {})),
+        )
+
+
+class TraceRecorder:
+    """Ring-buffered trace sink shared by the instrumented layers.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest events are dropped (and counted in
+        :attr:`dropped`) once full.
+    categories:
+        Optional allow-list; events in other categories are counted in
+        :attr:`filtered` and discarded at the emission site.
+    enabled:
+        Master switch.  A disabled recorder's :meth:`emit` returns
+        immediately, so instrumentation left in place costs one
+        attribute load and a branch.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65_536,
+        categories: Optional[Iterable[Union[str, TraceCategory]]] = None,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.categories: Optional[FrozenSet[str]] = (
+            frozenset(_category_value(c) for c in categories)
+            if categories is not None
+            else None
+        )
+        self.enabled = enabled
+        self._seq = 0
+        self.emitted = 0    #: events accepted into the ring
+        self.dropped = 0    #: events evicted by ring wraparound
+        self.filtered = 0   #: events rejected by the category filter
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def wants(self, category: Union[str, TraceCategory]) -> bool:
+        """Would an event in ``category`` currently be recorded?
+
+        Instrumentation whose *argument construction* is expensive can
+        guard on this to skip the work entirely.
+        """
+        if not self.enabled:
+            return False
+        value = category.value if isinstance(category, TraceCategory) else category
+        return self.categories is None or value in self.categories
+
+    def emit(
+        self,
+        category: Union[str, TraceCategory],
+        name: str,
+        time: float = 0.0,
+        duration: float = 0.0,
+        kind: Optional[str] = None,
+        **args: Any,
+    ) -> Optional[TraceEvent]:
+        """Record one event; returns it, or None if disabled/filtered.
+
+        ``kind`` defaults to ``span`` when a duration is given and
+        ``instant`` otherwise.
+        """
+        if not self.enabled:
+            return None
+        value = _category_value(category)
+        if self.categories is not None and value not in self.categories:
+            self.filtered += 1
+            return None
+        event = TraceEvent(
+            seq=self._seq,
+            time=float(time),
+            category=value,
+            name=name,
+            kind=kind if kind is not None else (KIND_SPAN if duration else KIND_INSTANT),
+            duration=float(duration),
+            args=args,
+        )
+        self._seq += 1
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        self.emitted += 1
+        return event
+
+    def events(
+        self, category: Optional[Union[str, TraceCategory]] = None
+    ) -> List[TraceEvent]:
+        """The buffered events in emission order, optionally one category."""
+        if category is None:
+            return list(self._buffer)
+        value = _category_value(category)
+        return [e for e in self._buffer if e.category == value]
+
+    def clear(self) -> int:
+        """Empty the ring (counters keep accumulating); returns count."""
+        removed = len(self._buffer)
+        self._buffer.clear()
+        return removed

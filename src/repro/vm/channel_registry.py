@@ -109,18 +109,16 @@ class ChannelStatusRegister:
     def needs_migration(self, app_id: int, channel: int) -> bool:
         """Should a translated page found in ``channel`` be migrated?
 
-        For a LOST application: yes when the channel is *not* marked (it
-        was taken away).  For a GAINED application: yes when the channel is
-        not one of the newly granted ones (moving pages in spreads load).
+        Both directions share one check — a page migrates when its
+        channel is unmarked — because the *marks* differ by direction:
+        LOST marks the channels the application still owns (an unmarked
+        channel was taken away), GAINED marks the newly granted channels
+        (an unmarked channel is an old one whose pages spread out).
         Returns False when the application is not being tracked.
         """
         self._check_app(app_id)
         record = self._records.get(app_id)
-        if record is None:
-            return False
-        if record.direction is ReallocationDirection.LOST:
-            return channel not in record.marked
-        return channel not in record.marked
+        return record is not None and channel not in record.marked
 
     def marked_channels(self, app_id: int) -> FrozenSet[int]:
         self._check_app(app_id)

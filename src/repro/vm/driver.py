@@ -63,12 +63,16 @@ class GPUDriver:
     """
 
     def __init__(self, num_channel_groups: int = 8,
-                 pages_per_channel: int = 262_144, mapping=None) -> None:
+                 pages_per_channel: int = 262_144, mapping=None,
+                 tracer=None) -> None:
         """``mapping``, when given, must provide ``channel_of_frame(rpn)``
         and ``frames_of_channel(channel)`` (e.g.
         :class:`repro.pagemove.address_mapping.InterleavedPageMapping`);
         it overrides the default contiguous frame layout with the paper's
-        Figure 8 interleave."""
+        Figure 8 interleave.
+
+        ``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
+        ``fault``-category record per serviced fault, named by kind."""
         if mapping is not None:
             num_channel_groups = mapping.num_channel_groups
             pages_per_channel = min(pages_per_channel, mapping.pages_per_channel)
@@ -102,6 +106,7 @@ class GPUDriver:
         self._resident: Dict[int, Dict[int, int]] = {}
         self.page_tables: Dict[int, PageTable] = {}
         self.faults: List[PageFault] = []
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Application lifecycle
@@ -239,6 +244,12 @@ class GPUDriver:
             source_channel=source_channel,
         )
         self.faults.append(fault)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault", kind.value, app_id=app_id, vpn=vpn,
+                channel=channel, source_channel=source_channel,
+                software_cycles=fault.software_cycles,
+            )
         return fault
 
     def is_balanced(self, app_id: int, tolerance: int = 1) -> bool:

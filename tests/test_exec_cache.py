@@ -92,3 +92,42 @@ class TestEviction:
     def test_bad_bound_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
             ResultCache(tmp_path, max_entries=0)
+
+
+class TestInFlightTempFiles:
+    """``Path.glob("*.pkl")`` matches dotfiles, so a ``.tmp-*.pkl`` file
+    another process is mid-way through writing must not be counted as an
+    entry, cleared, or evicted out from under its ``os.replace``."""
+
+    def _fake_tmp(self, cache):
+        tmp = cache.directory / ".tmp-inflight.pkl"
+        tmp.write_bytes(b"partial write")
+        return tmp
+
+    def test_len_ignores_tmp_files(self, cache, result):
+        cache.put(JOB.key(), result)
+        self._fake_tmp(cache)
+        assert len(cache) == 1
+
+    def test_clear_leaves_tmp_files(self, cache, result):
+        cache.put(JOB.key(), result)
+        tmp = self._fake_tmp(cache)
+        assert cache.clear() == 1
+        assert tmp.exists()
+        assert len(cache) == 0
+
+    def test_enforce_bound_never_evicts_tmp_files(self, tmp_path, result):
+        import os
+
+        cache = ResultCache(tmp_path, max_entries=1)
+        tmp = cache.directory / ".tmp-inflight.pkl"
+        tmp.write_bytes(b"partial write")
+        os.utime(tmp, (0, 0))  # oldest file in the directory
+        cache.put("a" * 64, result)
+        os.utime(cache.path_for("a" * 64), (1, 1))
+        cache.put("b" * 64, result)
+        # The bound evicted the oldest *finished* entry, not the tmp file.
+        assert tmp.exists()
+        assert cache.evictions == 1
+        assert cache.get("a" * 64) is None
+        assert cache.get("b" * 64) is not None

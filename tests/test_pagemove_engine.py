@@ -196,3 +196,72 @@ class TestHardwareValidation:
         )
         with pytest.raises(MigrationError):
             engine.execute_page_on_hardware(system, src_rpn=1, dst_channel=1)
+
+
+class TestReallocationCoherence:
+    """Regression tests for the migration-coherence fixes: the balance-
+    clear tolerance, lazy need against pre-resident pages, and the
+    register's single direction bit on mixed lose+gain plans."""
+
+    def test_register_stays_live_while_unbalanced(self, engine, driver):
+        # 2 pages each in channels 0 and 1; losing channel 1 round-robins
+        # them over kept [0, 2], ending {0: 3, 2: 1} -- a spread of 2.
+        driver.register_app(0, [0, 1, 2])
+        for vpn in range(2):
+            driver.handle_fault(FaultKind.DEMAND, 0, vpn, target_channel=0)
+        for vpn in range(2, 4):
+            driver.handle_fault(FaultKind.DEMAND, 0, vpn, target_channel=1)
+        plan = engine.plan_channel_reallocation(0, new_channels=[0, 2])
+        engine.execute(plan)
+        assert driver.page_tables[0].channel_page_counts() == {0: 3, 2: 1}
+        # Spread 2 > tolerance 1: rebalancing is still in flight, so the
+        # channel-status register must keep routing faults.  (A tolerance
+        # of len(new_channels) == 2 would have cleared it here.)
+        assert engine.registry.is_tracking(0)
+        assert not driver.is_balanced(0)
+
+    def test_lazy_need_accounts_for_preresident_pages(self, engine, driver):
+        # Channel 2 already holds 4 pages from an earlier ownership; a
+        # back-to-back reallocation that re-grants it must only top it up
+        # to the balance target, never ship the full target into it.
+        driver.register_app(0, [0, 1, 2])
+        vpn = 0
+        for channel, pages in ((0, 10), (1, 10), (2, 4)):
+            for _ in range(pages):
+                driver.handle_fault(FaultKind.DEMAND, 0, vpn, target_channel=channel)
+                vpn += 1
+        driver.reassign_channels(0, [0, 1])  # channel 2 taken away, pages stay
+        plan = engine.plan_channel_reallocation(0, new_channels=[0, 1, 2, 3])
+        # 24 resident pages over 4 channels: target 6.  Channel 2 needs
+        # 2 (6 - 4 pre-resident), channel 3 needs 6.
+        moves_to = {}
+        for move in plan.lazy:
+            moves_to[move.dst_channel] = moves_to.get(move.dst_channel, 0) + 1
+        assert moves_to == {2: 2, 3: 6}
+        engine.execute(plan)
+        assert driver.page_tables[0].channel_page_counts() == {
+            0: 6, 1: 6, 2: 6, 3: 6,
+        }
+        assert driver.is_balanced(0)
+        assert not engine.registry.is_tracking(0)
+
+    def test_mixed_plan_programs_lost_direction(self, engine, driver):
+        from repro.vm import ReallocationDirection
+
+        # {0, 1} -> {1, 2} both loses channel 0 and gains channel 2.  The
+        # register's status bit encodes one direction; LOST must win so
+        # translations landing in the vacated channel 0 fault immediately.
+        driver.register_app(0, [0, 1])
+        for vpn in range(4):
+            driver.handle_fault(FaultKind.DEMAND, 0, vpn, target_channel=0)
+        plan = engine.plan_channel_reallocation(0, new_channels=[1, 2])
+        assert plan.lost_channels == frozenset({0})
+        assert plan.gained_channels == frozenset({2})
+        engine.execute(plan)
+        # All 4 pages were vacated eagerly into the sole kept channel, so
+        # the app is unbalanced ({1: 4, 2: 0}) and the register is live.
+        assert engine.registry.direction(0) is ReallocationDirection.LOST
+        # LOST marks the *kept* set: anything outside it needs migration.
+        assert engine.registry.needs_migration(0, 0)
+        assert not engine.registry.needs_migration(0, 1)
+        assert not engine.registry.needs_migration(0, 2)

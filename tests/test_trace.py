@@ -1,0 +1,317 @@
+"""Tests for the tracing layer (repro.trace) and its instrumentation
+hooks across sim, core, pagemove, vm and exec."""
+
+import json
+
+import pytest
+
+from repro import BPSystem, UGPUSystem, build_mix
+from repro.errors import ConfigError
+from repro.exec import ResultCache, SweepExecutor, SweepJob
+from repro.pagemove import (
+    InterleavedPageMapping,
+    MigrationEngine,
+    PageMoveAddressMapping,
+)
+from repro.sim.engine import EventQueue
+from repro.trace import (
+    TraceCategory,
+    TraceEvent,
+    TraceRecorder,
+    chrome_trace,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.vm import FaultKind, GPUDriver
+
+
+class TestRecorder:
+    def test_emit_and_retrieve(self):
+        recorder = TraceRecorder()
+        event = recorder.emit("epoch", "epoch[0]", time=5.0, duration=2.0,
+                              instructions=10)
+        assert event is not None
+        assert event.category == "epoch"
+        assert event.kind == "span"
+        assert event.end_time == 7.0
+        assert recorder.events() == [event]
+        assert recorder.events("epoch") == [event]
+        assert recorder.events("fault") == []
+
+    def test_instant_default_kind(self):
+        recorder = TraceRecorder()
+        assert recorder.emit("fault", "demand").kind == "instant"
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        assert recorder.emit("epoch", "e") is None
+        assert len(recorder) == 0 and recorder.emitted == 0
+        recorder.enable()
+        assert recorder.emit("epoch", "e") is not None
+        recorder.disable()
+        assert recorder.emit("epoch", "e") is None
+        assert len(recorder) == 1
+
+    def test_category_filter(self):
+        recorder = TraceRecorder(categories=["epoch", TraceCategory.REALLOC])
+        assert recorder.emit("epoch", "e") is not None
+        assert recorder.emit("realloc", "apply") is not None
+        assert recorder.emit("fault", "demand") is None
+        assert recorder.filtered == 1
+        assert recorder.wants("epoch")
+        assert not recorder.wants("fault")
+
+    def test_unknown_category_rejected(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ConfigError):
+            recorder.emit("nonsense", "x")
+        with pytest.raises(ConfigError):
+            TraceRecorder(categories=["nonsense"])
+
+    def test_ring_buffer_wraparound(self):
+        recorder = TraceRecorder(capacity=4)
+        for index in range(10):
+            recorder.emit("event", f"e{index}", time=index)
+        assert len(recorder) == 4
+        assert recorder.emitted == 10
+        assert recorder.dropped == 6
+        # The survivors are the newest four, in emission order.
+        assert [e.name for e in recorder.events()] == ["e6", "e7", "e8", "e9"]
+        assert [e.seq for e in recorder.events()] == [6, 7, 8, 9]
+
+    def test_clear_empties_ring_but_keeps_counters(self):
+        recorder = TraceRecorder()
+        recorder.emit("epoch", "e")
+        assert recorder.clear() == 1
+        assert len(recorder) == 0
+        assert recorder.emitted == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder(capacity=0)
+
+
+class TestExport:
+    def _sample_events(self):
+        recorder = TraceRecorder()
+        recorder.emit("epoch", "epoch[0]", time=0.0, duration=100.0,
+                      instructions=42, migration_cycles=10)
+        recorder.emit("fault", "demand", time=7.0, app_id=1, vpn=3)
+        recorder.emit("realloc", "apply", time=100.0, epoch=0, iterations=2)
+        return recorder.events()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events = self._sample_events()
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(events, path) == 3
+        assert read_jsonl(path) == events
+
+    def test_jsonl_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a trace record"}\n')
+        with pytest.raises(ConfigError):
+            read_jsonl(path)
+
+    def test_chrome_trace_shape(self):
+        payload = chrome_trace(self._sample_events(), clock_ghz=1.0)
+        records = payload["traceEvents"]
+        spans = [r for r in records if r.get("ph") == "X"]
+        instants = [r for r in records if r.get("ph") == "i"]
+        metadata = [r for r in records if r.get("ph") == "M"]
+        assert len(spans) == 1 and spans[0]["dur"] == pytest.approx(0.1)
+        assert spans[0]["ts"] == pytest.approx(0.0)
+        assert len(instants) == 2
+        # One named row per (category, app_id) pair seen.
+        assert len(metadata) == 3
+        # 1 GHz: 7 cycles -> 0.007 us.
+        fault = next(r for r in instants if r["cat"] == "fault")
+        assert fault["ts"] == pytest.approx(0.007)
+
+    def test_chrome_trace_file_is_json(self, tmp_path):
+        path = tmp_path / "trace.chrome.json"
+        count = write_chrome_trace(self._sample_events(), path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            chrome_trace([], clock_ghz=0.0)
+
+
+class TestSummary:
+    def test_derived_metrics(self):
+        recorder = TraceRecorder()
+        for index in range(4):
+            recorder.emit("epoch", f"epoch[{index}]", time=index * 100.0,
+                          duration=100.0, instructions=5,
+                          migration_cycles=20 if index in (1, 3) else 0)
+        recorder.emit("realloc", "apply", time=100.0, epoch=1)
+        recorder.emit("realloc", "apply", time=300.0, epoch=3)
+        recorder.emit("realloc", "suppress", time=200.0, epoch=2)
+        for _ in range(6):
+            recorder.emit("fault", "demand")
+        recorder.emit("fault", "lost_channel")
+        recorder.emit("qos", "enforce", app_id=1)
+        summary = summarize(recorder.events())
+        assert summary.epochs == 4
+        assert summary.total_cycles == 400.0
+        assert summary.faults == 7
+        assert summary.faults_by_kind == {"demand": 6, "lost_channel": 1}
+        assert summary.fault_rate_per_epoch == pytest.approx(7 / 4)
+        assert summary.migration_stall_fraction == pytest.approx(40 / 400)
+        assert summary.reallocations_applied == 2
+        assert summary.reallocations_suppressed == 1
+        assert summary.reallocation_cadence_epochs == pytest.approx(2.0)
+        assert summary.qos_interventions == 1
+        text = summary.format()
+        assert "migration stall 10.0%" in text
+        assert "2 applied, 1 suppressed" in text
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary.fault_rate_per_epoch == 0.0
+        assert summary.migration_stall_fraction == 0.0
+        assert summary.reallocation_cadence_epochs is None
+
+
+class TestSystemInstrumentation:
+    def _run(self, tracer=None, policy=UGPUSystem):
+        apps = build_mix(["PVC", "DXTC"]).applications
+        return policy(apps, tracer=tracer).run(15_000_000, mix_name="PVC_DXTC")
+
+    def test_traced_run_matches_untraced_run(self):
+        recorder = TraceRecorder()
+        untraced = self._run()
+        traced = self._run(tracer=recorder)
+        assert traced.stp == untraced.stp
+        assert traced.antt == untraced.antt
+        assert traced.total_cycles == untraced.total_cycles
+        assert traced.repartitions == untraced.repartitions
+        assert [e.instructions for e in traced.epochs] == [
+            e.instructions for e in untraced.epochs
+        ]
+        assert recorder.emitted > 0
+
+    def test_disabled_recorder_run_matches_untraced(self):
+        recorder = TraceRecorder(enabled=False)
+        untraced = self._run()
+        traced = self._run(tracer=recorder)
+        assert traced.stp == untraced.stp
+        assert len(recorder) == 0
+
+    def test_epoch_events_cover_the_horizon(self):
+        recorder = TraceRecorder()
+        result = self._run(tracer=recorder)
+        epochs = recorder.events("epoch")
+        assert len(epochs) == len(result.epochs)
+        assert sum(e.duration for e in epochs) == result.total_cycles
+        assert all(e.kind == "span" for e in epochs)
+
+    def test_realloc_events_match_repartition_count(self):
+        recorder = TraceRecorder()
+        result = self._run(tracer=recorder)
+        applies = [e for e in recorder.events("realloc") if e.name == "apply"]
+        assert len(applies) == result.repartitions
+        for event in applies:
+            assert set(event.args["allocations"]) == {0, 1}
+
+    def test_bp_system_accepts_tracer(self):
+        recorder = TraceRecorder()
+        self._run(tracer=recorder, policy=BPSystem)
+        assert len(recorder.events("epoch")) == 3
+        assert recorder.events("realloc") == []  # static policy
+
+    def test_migration_windows_traced(self):
+        recorder = TraceRecorder()
+        self._run(tracer=recorder)
+        migrations = recorder.events("migration")
+        assert migrations, "a repartition must charge migration windows"
+        assert all(e.args["mode"] == "ppmm" for e in migrations)
+
+
+class TestComponentInstrumentation:
+    def test_event_queue_fire_hook(self):
+        recorder = TraceRecorder()
+        queue = EventQueue(tracer=recorder)
+        queue.schedule(5, lambda: None, tag="tick")
+        queue.schedule(9, lambda: None)
+        queue.run_all()
+        events = recorder.events("event")
+        assert [e.name for e in events] == ["tick", "event"]
+        assert [e.time for e in events] == [5, 9]
+
+    def test_driver_fault_events(self):
+        recorder = TraceRecorder()
+        driver = GPUDriver(num_channel_groups=2, pages_per_channel=8,
+                           tracer=recorder)
+        driver.register_app(0, [0, 1])
+        driver.handle_fault(FaultKind.DEMAND, 0, vpn=1)
+        driver.handle_fault(FaultKind.REBALANCE, 0, vpn=1, target_channel=1)
+        names = [e.name for e in recorder.events("fault")]
+        assert names == ["demand", "rebalance"]
+        rebalance = recorder.events("fault")[1]
+        assert rebalance.args["source_channel"] is not None
+
+    def test_migration_engine_plan_and_execute_events(self):
+        recorder = TraceRecorder()
+        mapping = PageMoveAddressMapping()
+        driver = GPUDriver(pages_per_channel=64,
+                           mapping=InterleavedPageMapping(mapping))
+        engine = MigrationEngine(driver, mapping=mapping, tracer=recorder)
+        driver.register_app(0, [0, 1])
+        for vpn in range(8):
+            driver.handle_fault(FaultKind.DEMAND, 0, vpn,
+                                target_channel=vpn % 2)
+        plan = engine.plan_channel_reallocation(0, [0])
+        engine.execute(plan)
+        names = [e.name for e in recorder.events("migration")]
+        assert names == ["plan", "execute"]
+        plan_event, execute_event = recorder.events("migration")
+        assert plan_event.args["eager"] == 4
+        assert plan_event.args["lost_channels"] == [1]
+        assert execute_event.args["eager"] == 4
+        assert execute_event.duration > 0
+
+    def test_executor_cache_and_job_events(self, tmp_path):
+        recorder = TraceRecorder()
+        cache = ResultCache(tmp_path / "sweeps")
+        executor = SweepExecutor(jobs=1, cache=cache, tracer=recorder)
+        job = SweepJob.build("bp", ("PVC", "DXTC"), 2_000_000)
+        executor.run([job])
+        executor.run([job])
+        cache_names = [e.name for e in recorder.events("cache")]
+        assert cache_names == ["miss", "hit"]
+        jobs = recorder.events("job")
+        assert len(jobs) == 1
+        assert jobs[0].duration > 0
+        assert jobs[0].args["policy"] == "bp"
+
+
+class TestTraceCLI:
+    def test_trace_command_writes_both_formats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prefix = str(tmp_path / "out")
+        assert main(["trace", "--mix", "PVC,DXTC", "--cycles", "5000000",
+                     "--output", prefix]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        events = read_jsonl(prefix + ".jsonl")
+        assert events and any(e.category == "epoch" for e in events)
+        with open(prefix + ".chrome.json") as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_trace_command_category_filter(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prefix = str(tmp_path / "filtered")
+        assert main(["trace", "--mix", "PVC,DXTC", "--cycles", "5000000",
+                     "--output", prefix, "--format", "jsonl",
+                     "--categories", "epoch"]) == 0
+        events = read_jsonl(prefix + ".jsonl")
+        assert events
+        assert {e.category for e in events} == {"epoch"}

@@ -212,3 +212,26 @@ class TestGPUDriver:
         driver = self.make_driver()
         with pytest.raises(AllocationError):
             driver.channel_of_frame(16 * 8)
+
+
+class TestNeedsMigrationSemantics:
+    """``needs_migration`` is one membership test for both directions:
+    the *meaning* of the marks differs (LOST marks the kept channels,
+    GAINED marks the newly-granted ones), but in either case a channel
+    outside the marked set is the one whose translations must trigger a
+    migration fault."""
+
+    def test_single_check_covers_both_directions(self):
+        reg = ChannelStatusRegister()
+        reg.set_lost(0, still_owned=[0, 1])
+        reg.set_gained(1, newly_granted=[6, 7])
+        for channel in range(8):
+            assert reg.needs_migration(0, channel) == (channel not in {0, 1})
+            assert reg.needs_migration(1, channel) == (channel not in {6, 7})
+
+    def test_untracked_after_clear(self):
+        reg = ChannelStatusRegister()
+        reg.set_lost(0, still_owned=[3])
+        reg.clear(0)
+        assert not reg.needs_migration(0, 0)
+        assert not reg.needs_migration(0, 3)

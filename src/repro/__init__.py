@@ -6,25 +6,32 @@ page migration.
 
 Quickstart::
 
-    from repro import BPSystem, UGPUSystem, build_mix
+    from repro import BPPolicy, MultitaskSystem, UGPUPolicy, build_mix
 
     mix = build_mix(["PVC", "DXTC"])
-    bp = BPSystem(mix.applications).run()
+    bp = MultitaskSystem(mix.applications, policy=BPPolicy()).run()
     mix2 = build_mix(["PVC", "DXTC"])
-    ugpu = UGPUSystem(mix2.applications).run()
+    ugpu = MultitaskSystem(mix2.applications, policy=UGPUPolicy()).run()
     print(f"STP: BP={bp.stp:.2f}  UGPU={ugpu.stp:.2f}")
+
+Open-system runs add an arrival schedule::
+
+    from repro import ArrivalSchedule, poisson_arrivals
+
+    arrivals = poisson_arrivals(5_000_000, 25_000_000, seed=0)
+    result = MultitaskSystem([], policy=UGPUPolicy(), arrivals=arrivals).run()
+    print(f"interval STP={result.stp:.2f}  makespan={result.makespan}")
+
+The pre-1.1 subclass spellings (``UGPUSystem``, ``BPSystem``, ...) remain
+importable from here for one release; they are deprecated shims around
+``MultitaskSystem(apps, policy=...)``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from repro.baselines import (
-    BPBigSmallSystem,
-    BPSmallBigSystem,
-    BPSystem,
-    CDSearchSystem,
-    MPSSystem,
-)
+import warnings as _warnings
+
 from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
 from repro.core import (
     AlgorithmCostModel,
@@ -33,20 +40,30 @@ from repro.core import (
     EpochProfiler,
     GPUSlice,
     MultitaskSystem,
+    OpenSystemResult,
     PartitionState,
     QoSTarget,
     ResourceAllocation,
     SystemResult,
-    UGPUSystem,
 )
 from repro.gpu import Application, GPUConfig, Kernel, PerformanceModel
 from repro.hbm import HBMConfig, HBMSystem, HBMTiming
-from repro.metrics import AppRun, EnergyModel, antt, stp
+from repro.metrics import AppRun, EnergyModel, IntervalRun, antt, stp
 from repro.pagemove import (
     MigrationCostModel,
     MigrationEngine,
     MigrationMode,
     PageMoveAddressMapping,
+)
+from repro.policies import (
+    BPBigSmallPolicy,
+    BPPolicy,
+    BPSmallBigPolicy,
+    CDSearchPolicy,
+    EvenPartitionPolicy,
+    MPSPolicy,
+    PartitionPolicy,
+    UGPUPolicy,
 )
 from repro.trace import (
     TraceCategory,
@@ -60,15 +77,18 @@ from repro.trace import (
 )
 from repro.workloads import (
     TABLE2,
+    ArrivalEvent,
+    ArrivalSchedule,
     build_ai_application,
     build_application,
     build_mix,
     catalog,
     heterogeneous_pairs,
     homogeneous_pairs,
+    poisson_arrivals,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Imported after __version__: the exec job specs fold the package version
 # into their cache keys.
@@ -80,6 +100,38 @@ from repro.exec import (  # noqa: E402
     register_policy,
     registered_policies,
 )
+
+#: Deprecated subclass spellings, resolved lazily (PEP 562) so importing
+#: ``repro`` stays warning-free; accessing one emits DeprecationWarning
+#: once, then the shim class (which warns again at construction) is
+#: cached in the module namespace.
+_DEPRECATED_SYSTEMS = {
+    "UGPUSystem": ("repro.core.ugpu", "UGPUPolicy"),
+    "BPSystem": ("repro.baselines.bp", "BPPolicy"),
+    "BPBigSmallSystem": ("repro.baselines.bp", "BPBigSmallPolicy"),
+    "BPSmallBigSystem": ("repro.baselines.bp", "BPSmallBigPolicy"),
+    "MPSSystem": ("repro.baselines.mps", "MPSPolicy"),
+    "CDSearchSystem": ("repro.baselines.cd_search", "CDSearchPolicy"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, policy_name = _DEPRECATED_SYSTEMS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use "
+        f"MultitaskSystem(apps, policy={policy_name}(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
 
 __all__ = [
     "__version__",
@@ -108,12 +160,22 @@ __all__ = [
     "QoSTarget",
     "MultitaskSystem",
     "SystemResult",
-    "UGPUSystem",
+    "OpenSystemResult",
+    # Partition policies
+    "PartitionPolicy",
+    "EvenPartitionPolicy",
+    "BPPolicy",
+    "BPBigSmallPolicy",
+    "BPSmallBigPolicy",
+    "MPSPolicy",
+    "CDSearchPolicy",
+    "UGPUPolicy",
     # Cluster extension
     "GPUNode",
     "ClusterScheduler",
     "PlacementPolicy",
-    # Baselines
+    # Deprecated subclass spellings (lazy shims)
+    "UGPUSystem",
     "BPSystem",
     "BPBigSmallSystem",
     "BPSmallBigSystem",
@@ -121,6 +183,7 @@ __all__ = [
     "CDSearchSystem",
     # Metrics
     "AppRun",
+    "IntervalRun",
     "stp",
     "antt",
     "EnergyModel",
@@ -148,4 +211,7 @@ __all__ = [
     "build_mix",
     "heterogeneous_pairs",
     "homogeneous_pairs",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "poisson_arrivals",
 ]

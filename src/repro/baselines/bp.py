@@ -1,82 +1,88 @@
-"""Balanced partitioning baselines (paper Section 2 and 6).
+"""Deprecated shims: the BP (balanced partitioning) subclass spellings.
 
-* **BP** — the GPU is divided into equal balanced partitions (NVIDIA
-  MIG-style); each application keeps its slice for the whole run.
-* **BP-BS** — the first application receives the big partition (60 SMs /
-  24 channels for two programs), the second the small one (20 / 8).
-* **BP-SB** — the mirror image: small first, big second.
+The BP policies now live in :mod:`repro.policies.bp` and compose with the
+shared runner::
 
-All three are static: no profiling, no reallocation, no migration.
+    MultitaskSystem(apps, policy=BPPolicy())
+    MultitaskSystem(apps, policy=BPBigSmallPolicy())
+
+The old ``BPSystem``/``BPBigSmallSystem``/``BPSmallBigSystem`` classes
+keep working for one release; they emit :class:`DeprecationWarning` and
+build the matching policy.  ``_fixed_two_way`` is re-exported for
+callers that used the 60/24 + 20/8 helper directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
-from repro.core.slices import PartitionState, ResourceAllocation
 from repro.core.system import MultitaskSystem
-from repro.errors import AllocationError
 from repro.gpu.kernel import Application
+from repro.policies.bp import (
+    BPBigSmallPolicy,
+    BPPolicy,
+    BPSmallBigPolicy,
+    fixed_two_way,
+)
+
+
+def _fixed_two_way(config, applications: Sequence[Application],
+                   big_first: bool):
+    """The paper's 60/24 + 20/8 split for two applications."""
+    return fixed_two_way(config, applications, big_first)
+
+
+def _deprecated(old: str, policy: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use "
+        f"MultitaskSystem(apps, policy={policy}()) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class BPSystem(MultitaskSystem):
-    """Equal balanced partitions; the paper's primary baseline."""
+    """Equal balanced partitions (deprecated spelling)."""
 
     policy_name = "BP"
 
     def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
                  energy_model=None, qos_big_first: bool = False,
                  total_memory_bytes=None, tracer=None) -> None:
-        #: QoS-aware BP gives the first (high-priority) app the big
-        #: partition (Section 6.7); plain BP splits evenly.
-        self._qos_big_first = qos_big_first
-        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
-                  "total_memory_bytes": total_memory_bytes, "tracer": tracer}
-        if config is not None:
-            kwargs["config"] = config
-        super().__init__(applications, **kwargs)
-
-    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
-        if self._qos_big_first and len(applications) == 2:
-            return _fixed_two_way(self.config, applications, big_first=True)
-        return super().initial_partition(applications)
-
-
-def _fixed_two_way(config, applications: Sequence[Application],
-                   big_first: bool) -> PartitionState:
-    """The paper's 60/24 + 20/8 split for two applications."""
-    if len(applications) != 2:
-        raise AllocationError(
-            "the big/small BP variants are defined for two applications"
+        _deprecated("BPSystem", "BPPolicy")
+        super().__init__(
+            applications, config, epoch_cycles, energy_model,
+            total_memory_bytes=total_memory_bytes, tracer=tracer,
+            policy=BPPolicy(qos_big_first=qos_big_first),
         )
-    state = PartitionState(
-        total_sms=config.num_sms, total_channels=config.num_channels
-    )
-    big = ResourceAllocation(
-        sms=config.num_sms * 3 // 4, channels=config.num_channels * 3 // 4
-    )
-    small = ResourceAllocation(
-        sms=config.num_sms - big.sms, channels=config.num_channels - big.channels
-    )
-    first, second = (big, small) if big_first else (small, big)
-    state.assign(applications[0].app_id, first)
-    state.assign(applications[1].app_id, second)
-    return state
 
 
 class BPBigSmallSystem(MultitaskSystem):
-    """BP-BS: big partition to the first application."""
+    """BP-BS: big partition to the first application (deprecated spelling)."""
 
     policy_name = "BP-BS"
 
-    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
-        return _fixed_two_way(self.config, applications, big_first=True)
+    def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
+                 energy_model=None, total_memory_bytes=None, tracer=None) -> None:
+        _deprecated("BPBigSmallSystem", "BPBigSmallPolicy")
+        super().__init__(
+            applications, config, epoch_cycles, energy_model,
+            total_memory_bytes=total_memory_bytes, tracer=tracer,
+            policy=BPBigSmallPolicy(),
+        )
 
 
 class BPSmallBigSystem(MultitaskSystem):
-    """BP-SB: small partition to the first application."""
+    """BP-SB: small partition to the first application (deprecated spelling)."""
 
     policy_name = "BP-SB"
 
-    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
-        return _fixed_two_way(self.config, applications, big_first=False)
+    def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
+                 energy_model=None, total_memory_bytes=None, tracer=None) -> None:
+        _deprecated("BPSmallBigSystem", "BPSmallBigPolicy")
+        super().__init__(
+            applications, config, epoch_cycles, energy_model,
+            total_memory_bytes=total_memory_bytes, tracer=tracer,
+            policy=BPSmallBigPolicy(),
+        )

@@ -1,86 +1,42 @@
-"""CD-Search combined with BP (paper Section 6.4).
+"""Deprecated shim: the CD-Search subclass spelling.
 
-CD-Search (Zhao et al., ICS 2018) classifies applications and moves SMs
-between them at epoch boundaries.  As the paper notes, CD-Search alone has
-no resource isolation, so the comparison point is *BP (CD-Search)*: the
-GPU stays split into isolated BP instances, memory channels never move,
-and only SMs are reallocated across the instance boundary based on the
-same demand classification UGPU uses.
+SM-only reallocation over BP instances now lives in
+:class:`repro.policies.cd_search.CDSearchPolicy` and composes with the
+shared runner::
 
-SM handover costs are charged exactly as in UGPU (drain/switch); there is
-never any page migration.
+    MultitaskSystem(apps, policy=CDSearchPolicy(sm_step=4))
+
+``CDSearchSystem`` keeps working for one release; it emits
+:class:`DeprecationWarning` and builds the policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import warnings
 
-from repro.core.hardware_cost import AlgorithmCostModel
-from repro.core.partitioner import DemandAwarePartitioner
-from repro.core.profiler import EpochProfiler
-from repro.core.reallocation import SMReallocator
-from repro.core.system import AppState, MultitaskSystem
-from repro.gpu.kernel import Application
+from repro.core.system import MultitaskSystem
+from repro.policies.cd_search import CDSearchPolicy
 
 
 class CDSearchSystem(MultitaskSystem):
-    """BP instances with SM-only reallocation."""
+    """BP instances with SM-only reallocation (deprecated spelling)."""
 
     policy_name = "BP(CD-Search)"
 
     def __init__(self, applications, config=None, epoch_cycles: int = 5_000_000,
                  energy_model=None, sm_step: int = 4,
                  tb_duration_cycles: float = 200_000.0, tracer=None) -> None:
-        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
-                  "tracer": tracer}
-        if config is not None:
-            kwargs["config"] = config
-        super().__init__(applications, **kwargs)
-        self.profiler = EpochProfiler(self.config)
-        for app in applications:
-            self.profiler.track(
-                app.app_id,
-                ipc_max_per_sm=max(k.ipc_per_sm for k in app.kernels),
-                footprint_bytes=app.footprint_bytes,
-            )
-        self.partitioner = DemandAwarePartitioner(
-            self.partition, sm_step=sm_step, gpu_config=self.config
+        warnings.warn(
+            "CDSearchSystem is deprecated; use "
+            "MultitaskSystem(apps, policy=CDSearchPolicy(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.sm_reallocator = SMReallocator(self.config)
-        self.algorithm_cost = AlgorithmCostModel()
-        self.tb_duration_cycles = tb_duration_cycles
-
-    def throughput_for(self, state: AppState):
-        throughput = super().throughput_for(state)
-        self.profiler.observe_epoch(state.app_id, throughput, self.epoch_cycles)
-        return throughput
-
-    def at_epoch_end(self, epoch_index: int, span: int) -> None:
-        profiles = {a: self.profiler.profile(a) for a in self.apps}
-        previous = {a: s.allocation for a, s in self.apps.items()}
-        decision = self.partitioner.compute(profiles)
-        # CD-Search moves SMs only: restore every channel allocation.
-        constrained = {
-            app_id: decision.allocations[app_id].move(
-                d_channels=previous[app_id].channels
-                - decision.allocations[app_id].channels
-            )
-            for app_id in decision.allocations
-        }
-        if constrained == previous:
-            return
-        self.apply_partition(constrained)
-        self.repartitions += 1
-        latency = float(
-            self.algorithm_cost.total_cycles(decision.iterations, len(self.apps))
+        super().__init__(
+            applications, config, epoch_cycles, energy_model,
+            tracer=tracer,
+            policy=CDSearchPolicy(
+                sm_step=sm_step,
+                tb_duration_cycles=tb_duration_cycles,
+            ),
         )
-        for app_id, state in self.apps.items():
-            self.add_penalty(app_id, latency, 1.0)
-            moved = abs(constrained[app_id].sms - previous[app_id].sms)
-            if moved and constrained[app_id].sms > 0:
-                charge = self.sm_reallocator.cost(
-                    moved, self.tb_duration_cycles, self.epoch_cycles,
-                    channels_available=max(1, constrained[app_id].channels),
-                )
-                self.add_penalty(app_id, charge.cycles, moved / constrained[app_id].sms)
-                state.migrated_bytes += charge.dram_bytes

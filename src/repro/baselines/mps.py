@@ -1,30 +1,26 @@
-"""Multi-Process Service baseline (paper Sections 6.7 and 7).
+"""Deprecated shim: the MPS (shared memory system) subclass spelling.
 
-MPS partitions SMs between applications but shares the entire memory
-system: all LLC slices and memory channels serve every application's
-traffic.  Two consequences the model captures:
+The contention model now lives in :class:`repro.policies.mps.MPSPolicy`
+and composes with the shared runner::
 
-* higher memory utilization — an application can momentarily draw more
-  than a proportional bandwidth share when its co-runners are idle, which
-  is why MPS sometimes beats UGPU's isolated slices in raw STP;
-* contention — when aggregate demand exceeds supply, bandwidth is split
-  in proportion to demand, so a memory-hungry co-runner can push a
-  high-priority application below its QoS floor (Figure 16's violations).
+    MultitaskSystem(apps, policy=MPSPolicy(sm_assignment={0: 60}))
+
+``MPSSystem`` keeps working for one release; it emits
+:class:`DeprecationWarning` and builds the policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import warnings
+from typing import Dict, Optional
 
-from repro.core.slices import PartitionState, ResourceAllocation
-from repro.core.system import AppState, MultitaskSystem
-from repro.errors import AllocationError
-from repro.gpu.kernel import Application
-from repro.gpu.performance import SliceThroughput
+from repro.core.system import MultitaskSystem
+from repro.policies.mps import MPSPolicy
 
 
 class MPSSystem(MultitaskSystem):
-    """SM partitioning with a fully shared memory system."""
+    """SM partitioning with a fully shared memory system (deprecated
+    spelling)."""
 
     policy_name = "MPS"
 
@@ -37,82 +33,17 @@ class MPSSystem(MultitaskSystem):
         split.  ``contention_overhead`` models row-buffer locality loss and
         scheduling interference between interleaved address streams
         sharing a channel (~18% of peak bandwidth)."""
-        self._sm_assignment = sm_assignment
-        if not 0.0 <= contention_overhead < 1.0:
-            raise AllocationError("contention_overhead must be in [0, 1)")
-        self.contention_overhead = contention_overhead
-        kwargs = {"epoch_cycles": epoch_cycles, "energy_model": energy_model,
-                  "tracer": tracer}
-        if config is not None:
-            kwargs["config"] = config
-        super().__init__(applications, **kwargs)
-
-    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
-        """Every slice records the full channel count: memory is shared.
-
-        The PartitionState budget tracks isolation, so MPS keeps its own
-        bookkeeping: SM counts are real, channel counts are nominal.
-        """
-        state = PartitionState(
-            total_sms=self.config.num_sms,
-            total_channels=self.config.num_channels * len(applications),
+        warnings.warn(
+            "MPSSystem is deprecated; use "
+            "MultitaskSystem(apps, policy=MPSPolicy(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        even = self.config.num_sms // len(applications)
-        for app in applications:
-            sms = (
-                self._sm_assignment.get(app.app_id, even)
-                if self._sm_assignment
-                else even
-            )
-            state.assign(
-                app.app_id,
-                ResourceAllocation(sms=sms, channels=self.config.num_channels),
-            )
-        return state
-
-    def _epoch_traffic(self) -> Dict[int, float]:
-        """Each app's unconstrained DRAM traffic (bytes/cycle) when it can
-        see the whole shared memory system."""
-        traffic = {}
-        for state in self.apps.values():
-            solo = self.perf.throughput(
-                state.app.current_kernel,
-                state.allocation.sms,
-                self.config.num_channels,
-            )
-            traffic[state.app_id] = solo.dram_bytes_per_cycle
-        return traffic
-
-    def throughput_for(self, state: AppState) -> SliceThroughput:
-        """Shared-memory contention: when aggregate DRAM traffic would
-        exceed the (interference-degraded) supply, every request stream is
-        throttled by the same oversubscription factor — the first-order
-        behaviour of a shared FR-FCFS memory system.  A lightly-demanding
-        co-runner therefore still slows down (its requests queue behind
-        the flood), which is exactly how MPS breaks QoS in Figure 16."""
-        base = self.perf.throughput(
-            state.app.current_kernel,
-            state.allocation.sms,
-            self.config.num_channels,
-        )
-        traffic = self._epoch_traffic()
-        total = sum(traffic.values())
-        supply = (
-            self.config.num_channels
-            * self.config.channel_bandwidth_bytes_per_cycle()
-            * (1.0 - self.contention_overhead)
-        )
-        if total <= supply:
-            return base
-        factor = supply / total
-        ipc = base.ipc * factor
-        return SliceThroughput(
-            ipc=ipc,
-            compute_roof=base.compute_roof,
-            bandwidth_roof=base.bandwidth_roof * factor,
-            mlp_roof=base.mlp_roof,
-            demand_bytes_per_cycle=base.demand_bytes_per_cycle,
-            supply_bytes_per_cycle=base.supply_bytes_per_cycle,
-            dram_bytes_per_cycle=base.dram_bytes_per_cycle * factor,
-            llc_hit_rate=base.llc_hit_rate,
+        super().__init__(
+            applications, config, epoch_cycles, energy_model,
+            tracer=tracer,
+            policy=MPSPolicy(
+                sm_assignment=sm_assignment,
+                contention_overhead=contention_overhead,
+            ),
         )

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --policies bp ugpu      # 50 heterogeneous mixes
     python -m repro sweep --policies bp ugpu --jobs 8   # process-pool fan-out
     python -m repro qos --target 0.75             # Figure 16 scenario
+    python -m repro arrivals --seed 0             # open-system Poisson run
     python -m repro trace --mix PVC,DXTC          # timeline -> JSONL + Perfetto
 
 ``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
@@ -31,14 +32,15 @@ import statistics
 import sys
 from typing import List, Optional, Sequence
 
-from repro import BPSystem, MPSSystem, QoSTarget, TABLE2, UGPUSystem, build_mix
+from repro import MultitaskSystem, QoSTarget, TABLE2, build_mix
 from repro.exec import (
     ResultCache,
     SweepExecutor,
     SweepJob,
     registered_policies,
 )
-from repro.workloads import heterogeneous_pairs
+from repro.policies import BPPolicy, MPSPolicy, UGPUPolicy
+from repro.workloads import heterogeneous_pairs, poisson_arrivals
 
 
 def default_cache_dir() -> str:
@@ -104,6 +106,26 @@ def _parser() -> argparse.ArgumentParser:
     qos.add_argument("--target", type=float, default=0.75,
                      help="normalized-progress floor for the second app")
     qos.add_argument("--cycles", type=int, default=25_000_000)
+
+    arrivals = sub.add_parser(
+        "arrivals",
+        help="open-system run: seeded Poisson job arrivals/departures")
+    arrivals.add_argument("--seed", type=int, default=0,
+                          help="arrival-trace seed (deterministic)")
+    arrivals.add_argument("--policy", default="ugpu",
+                          choices=registered_policies(),
+                          help="partition policy (default: ugpu)")
+    arrivals.add_argument("--mean-interarrival", type=_positive_int,
+                          default=2_000_000, metavar="CYCLES",
+                          help="mean inter-arrival time (default: 2M cycles)")
+    arrivals.add_argument("--cycles", type=int, default=25_000_000,
+                          help="simulation horizon in GPU cycles")
+    arrivals.add_argument("--max-slots", type=_positive_int, default=None,
+                          help="concurrent-residency cap (default: what the "
+                               "GPU's minimum slices can host)")
+    arrivals.add_argument("--initial", default=None, metavar="MIX",
+                          help="comma-separated benchmarks resident at cycle "
+                               "0 (default: start empty)")
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
                                          "and export the timeline")
@@ -196,11 +218,14 @@ def cmd_qos(args) -> int:
     target = QoSTarget(app_id=1, target_np=args.target)
     print(f"high-priority app: {abbrs[1]} (target NP {args.target})\n")
     rows = [
-        ("MPS", MPSSystem(build_mix(abbrs).applications,
-                          sm_assignment={1: 60, 0: 20})),
-        ("QoS-BP", BPSystem(build_mix([abbrs[1], abbrs[0]]).applications,
-                            qos_big_first=True)),
-        ("UGPU", UGPUSystem(build_mix(abbrs).applications, qos=target)),
+        ("MPS", MultitaskSystem(
+            build_mix(abbrs).applications,
+            policy=MPSPolicy(sm_assignment={1: 60, 0: 20}))),
+        ("QoS-BP", MultitaskSystem(
+            build_mix([abbrs[1], abbrs[0]]).applications,
+            policy=BPPolicy(qos_big_first=True))),
+        ("UGPU", MultitaskSystem(
+            build_mix(abbrs).applications, policy=UGPUPolicy(qos=target))),
     ]
     for name, system in rows:
         result = system.run(args.cycles)
@@ -209,6 +234,48 @@ def cmd_qos(args) -> int:
         verdict = "meets" if hp.normalized_progress >= args.target * 0.97 else "VIOLATES"
         print(f"{name:<8} STP {result.stp:.3f}  high-priority NP "
               f"{hp.normalized_progress:.3f} ({verdict})")
+    return 0
+
+
+def cmd_arrivals(args) -> int:
+    """Open-system simulation: seeded Poisson arrivals over the catalog."""
+    from repro.exec import resolve_policy
+
+    schedule = poisson_arrivals(
+        mean_interarrival_cycles=args.mean_interarrival,
+        horizon_cycles=args.cycles,
+        seed=args.seed,
+    )
+    initial = []
+    label = "open"
+    if args.initial:
+        abbrs = [a.strip() for a in args.initial.split(",") if a.strip()]
+        initial = build_mix(abbrs).applications
+        label = "_".join(abbrs) + "+open"
+    print(f"policy: {args.policy}  seed: {args.seed}  "
+          f"horizon: {args.cycles:,} cycles")
+    print(f"{len(schedule)} arrivals scheduled "
+          f"(mean inter-arrival {args.mean_interarrival:,} cycles), "
+          f"{len(initial)} jobs resident at cycle 0\n")
+    factory = resolve_policy(args.policy)
+    system = factory(initial, arrivals=schedule, max_slots=args.max_slots)
+    result = system.run(args.cycles, mix_name=label)
+    print(f"{'job':<8} {'arrive':>12} {'admit':>12} {'depart':>12} "
+          f"{'wait':>10} {'NP':>6}")
+    for run in result.runs:
+        depart = (f"{run.depart_cycle:>12,}" if run.depart_cycle is not None
+                  else f"{'(resident)':>12}")
+        print(f"{run.name:<8} {run.arrival_cycle:>12,} {run.admit_cycle:>12,} "
+              f"{depart} {run.queueing_delay:>10,} "
+              f"{run.normalized_progress(args.cycles):>6.2f}")
+    print(f"\narrivals {result.arrivals}  admissions {result.admissions}  "
+          f"departures {result.departures}  repartitions {result.repartitions}")
+    if result.runs:
+        print(f"interval STP {result.stp:.3f}  interval ANTT {result.antt:.2f}  "
+              f"mean queueing delay {result.mean_queueing_delay:,.0f} cycles  "
+              f"makespan {result.makespan:,} cycles")
+    else:
+        print("no job was admitted before the horizon")
     return 0
 
 
@@ -296,6 +363,7 @@ def main(argv: Sequence[str] = None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "qos": cmd_qos,
+        "arrivals": cmd_arrivals,
         "trace": cmd_trace,
         "export": cmd_export,
     }

@@ -2,15 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Type
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
-from repro.baselines.bp import BPSystem
 from repro.core.system import MultitaskSystem, SystemResult
-from repro.core.ugpu import UGPUSystem
 from repro.errors import AllocationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
+from repro.policies import BPPolicy, UGPUPolicy
 
 
 @dataclass
@@ -35,10 +34,11 @@ class GPUNode:
     tracks 4).
     """
 
-    def __init__(self, node_id: int, config: GPUConfig = GPUConfig(),
+    def __init__(self, node_id: int, config: Optional[GPUConfig] = None,
                  max_tenants: int = 4) -> None:
         if max_tenants <= 0:
             raise AllocationError("max_tenants must be positive")
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.node_id = node_id
         self.config = config
@@ -61,9 +61,23 @@ class GPUNode:
             )
         self.tenants.append(app)
 
-    def run(self, policy: Type[MultitaskSystem] = UGPUSystem,
+    def remove(self, app_id: int) -> Application:
+        """Release a tenant's slot (online departure); raises when the
+        app id is not resident here."""
+        for i, tenant in enumerate(self.tenants):
+            if tenant.app_id == app_id:
+                return self.tenants.pop(i)
+        raise AllocationError(
+            f"app {app_id} is not resident on node {self.node_id}"
+        )
+
+    def run(self, policy: Optional[Callable[..., MultitaskSystem]] = None,
             total_cycles: int = 25_000_000) -> NodeResult:
         """Run the placed tenants under ``policy`` (UGPU by default).
+
+        ``policy`` is a factory ``policy(applications) -> system`` — a
+        :mod:`repro.exec.registry` factory, a deprecated system subclass,
+        or any compatible callable.
 
         A single-tenant node runs that tenant on the whole GPU (its NP is
         1.0 by construction); an idle node contributes nothing.
@@ -75,7 +89,9 @@ class GPUNode:
         if len(apps) == 1:
             # Whole-GPU run: every policy degenerates to the same thing,
             # so use the overhead-free static system.
-            system = BPSystem(apps)
+            system = MultitaskSystem(apps, policy=BPPolicy())
+        elif policy is None:
+            system = MultitaskSystem(apps, policy=UGPUPolicy())
         else:
             system = policy(apps)
         result = system.run(total_cycles, mix_name="_".join(names))

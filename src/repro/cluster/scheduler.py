@@ -1,6 +1,6 @@
 """Cluster-level tenant placement.
 
-Two placement policies:
+Three placement policies:
 
 * ``FIRST_FIT`` — tenants land on the first node with a free slot, the
   default behaviour of a class-blind scheduler.
@@ -8,20 +8,27 @@ Two placement policies:
   and compute-bound applications, maximizing each node's UGPU
   reallocation room (the paper's cloud-utilization argument: a node full
   of same-class tenants has nothing to trade).
+* ``LEAST_FRAGMENTED`` — the *online* policy: each arriving job lands on
+  the compatible node that leaves the least stranded capacity (the
+  fullest node that still has a slot), preferring nodes whose resident
+  class mix the arrival complements.  Batch placement degenerates to
+  admitting jobs one at a time, which is exactly how an open system sees
+  them.
 
 The scheduler then runs every node under the chosen slicing policy and
-aggregates cluster throughput.
+aggregates cluster throughput.  :meth:`ClusterScheduler.admit` and
+:meth:`ClusterScheduler.depart` expose the same machinery job-by-job for
+arrival/departure traces (:mod:`repro.workloads.arrivals`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.node import GPUNode, NodeResult
 from repro.core.system import MultitaskSystem
-from repro.core.ugpu import UGPUSystem
 from repro.errors import AllocationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
@@ -33,6 +40,7 @@ class PlacementPolicy(enum.Enum):
 
     FIRST_FIT = "first_fit"
     DEMAND_AWARE = "demand_aware"
+    LEAST_FRAGMENTED = "least_fragmented"
 
 
 @dataclass
@@ -62,10 +70,11 @@ class ClusterResult:
 class ClusterScheduler:
     """Place tenant jobs on a pool of GPU nodes and run them."""
 
-    def __init__(self, num_nodes: int, config: GPUConfig = GPUConfig(),
+    def __init__(self, num_nodes: int, config: Optional[GPUConfig] = None,
                  tenants_per_node: int = 2) -> None:
         if num_nodes <= 0:
             raise AllocationError("need at least one node")
+        config = config if config is not None else GPUConfig()
         self.config = config
         self.nodes = [
             GPUNode(i, config, max_tenants=tenants_per_node)
@@ -76,6 +85,10 @@ class ClusterScheduler:
     @property
     def capacity(self) -> int:
         return sum(node.max_tenants for node in self.nodes)
+
+    @property
+    def resident_jobs(self) -> int:
+        return sum(len(node.tenants) for node in self.nodes)
 
     # ------------------------------------------------------------------
     # Placement
@@ -91,10 +104,15 @@ class ClusterScheduler:
     def place(self, jobs: Sequence[Application],
               policy: PlacementPolicy = PlacementPolicy.DEMAND_AWARE) -> None:
         """Assign all jobs to nodes; raises if the cluster is full."""
-        if len(jobs) > self.capacity:
+        if len(jobs) > self.capacity - self.resident_jobs:
             raise AllocationError(
                 f"{len(jobs)} jobs exceed cluster capacity {self.capacity}"
             )
+        if policy is PlacementPolicy.LEAST_FRAGMENTED:
+            # The online policy sees a batch as back-to-back arrivals.
+            for job in jobs:
+                self.admit(job)
+            return
         if policy is PlacementPolicy.FIRST_FIT:
             # Class-blind: spread tenants breadth-first for load fairness.
             for job in jobs:
@@ -127,9 +145,55 @@ class ClusterScheduler:
         raise AllocationError("cluster is full")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # Online admission / departure
+    # ------------------------------------------------------------------
+    def admit(self, job: Application) -> GPUNode:
+        """Place one arriving job on the least-fragmented compatible node.
+
+        Best-fit bin packing with a class-mix tie-break: among nodes with
+        a free slot, pick the one with the fewest remaining slots
+        (keeping whole nodes free for future arrivals), preferring nodes
+        whose residents the arrival complements (an empty node, or one
+        already holding an opposite-class tenant, gives UGPU reallocation
+        room).  Deterministic: ties fall to the lowest node id.
+        """
+        open_nodes = [n for n in self.nodes if n.free_slots > 0]
+        if not open_nodes:
+            raise AllocationError("cluster is full: no free slot for arrival")
+        job_mb = self._is_memory_bound(job)
+        target = min(
+            open_nodes,
+            key=lambda n: (
+                n.free_slots,
+                0 if self._complements(n, job_mb) else 1,
+                n.node_id,
+            ),
+        )
+        target.place(job)
+        return target
+
+    def _complements(self, node: GPUNode, job_is_memory_bound: bool) -> bool:
+        """Would the arrival improve (or keep) the node's class mix?"""
+        if node.is_empty:
+            return True
+        return any(
+            self._is_memory_bound(t) != job_is_memory_bound
+            for t in node.tenants
+        )
+
+    def depart(self, app_id: int) -> GPUNode:
+        """Release a departing job's slot; returns the node it held."""
+        for node in self.nodes:
+            if any(t.app_id == app_id for t in node.tenants):
+                node.remove(app_id)
+                return node
+        raise AllocationError(f"app {app_id} is not resident in the cluster")
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, slicing_policy: Type[MultitaskSystem] = UGPUSystem,
+    def run(self,
+            slicing_policy: Optional[Callable[..., MultitaskSystem]] = None,
             total_cycles: int = 25_000_000,
             placement: PlacementPolicy = PlacementPolicy.DEMAND_AWARE,
             ) -> ClusterResult:
@@ -142,7 +206,7 @@ class ClusterScheduler:
         self,
         jobs: Sequence[Application],
         placement: PlacementPolicy = PlacementPolicy.DEMAND_AWARE,
-        slicing_policy: Type[MultitaskSystem] = UGPUSystem,
+        slicing_policy: Optional[Callable[..., MultitaskSystem]] = None,
         total_cycles: int = 25_000_000,
     ) -> ClusterResult:
         """Convenience: place, run, aggregate."""

@@ -15,7 +15,12 @@ from repro.core.partitioner import DemandAwarePartitioner, PartitionDecision
 from repro.core.hardware_cost import AlgorithmCostModel
 from repro.core.oracle import OraclePartitioner, OracleResult
 from repro.core.reallocation import SMPolicy, SMReallocator
-from repro.core.system import AppState, MultitaskSystem, SystemResult
+from repro.core.system import (
+    AppState,
+    MultitaskSystem,
+    OpenSystemResult,
+    SystemResult,
+)
 from repro.core.ugpu import UGPUSystem
 from repro.core.qos import QoSTarget
 
@@ -35,6 +40,7 @@ __all__ = [
     "AppState",
     "MultitaskSystem",
     "SystemResult",
+    "OpenSystemResult",
     "UGPUSystem",
     "QoSTarget",
 ]

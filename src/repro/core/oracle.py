@@ -15,7 +15,7 @@ under the performance model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.slices import PartitionState, ResourceAllocation
 from repro.errors import AllocationError
@@ -36,9 +36,10 @@ class OracleResult:
 class OraclePartitioner:
     """Exhaustive / coordinate-descent search over slice sizes."""
 
-    def __init__(self, config: GPUConfig = GPUConfig(),
+    def __init__(self, config: Optional[GPUConfig] = None,
                  sm_step: int = 4, mc_step: int = 4,
                  min_sms: int = 4, min_channels: int = 4) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         if sm_step <= 0 or mc_step <= 0:
             raise AllocationError("steps must be positive")

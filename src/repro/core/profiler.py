@@ -55,7 +55,8 @@ class AppProfile:
 class EpochProfiler:
     """Per-application hardware counters plus the Equation 1-2 math."""
 
-    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
         self._banks: Dict[int, CounterBank] = {}
@@ -75,6 +76,9 @@ class EpochProfiler:
         self._banks[app_id] = CounterBank()
         self._ipc_max[app_id] = ipc_max_per_sm
         self._footprints[app_id] = footprint_bytes
+
+    def is_tracked(self, app_id: int) -> bool:
+        return app_id in self._banks
 
     def bank(self, app_id: int) -> CounterBank:
         try:

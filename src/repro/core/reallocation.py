@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -43,9 +44,10 @@ class SMReallocationCharge:
 class SMReallocator:
     """Pick and cost the SM handover mechanism."""
 
-    def __init__(self, config: GPUConfig = GPUConfig(),
+    def __init__(self, config: Optional[GPUConfig] = None,
                  context_bytes_per_sm: int = None,
                  switch_fixed_cycles: float = 30_000.0) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
         #: Register file + shared memory per SM (the switched context).

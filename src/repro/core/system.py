@@ -3,24 +3,40 @@
 :class:`MultitaskSystem` is the shared runner: it advances co-executing
 applications epoch by epoch, evaluating each on its slice with the
 two-roofline performance model, charging any pending reallocation
-penalties, and collecting STP/ANTT/energy at the end.  Policies (UGPU, BP
-variants, MPS, CD-Search) subclass it and override two hooks:
-
-* :meth:`throughput_for` — how an application performs on its resources
-  (MPS overrides this to model shared-memory contention);
-* :meth:`at_epoch_end` — what happens at the profiling boundary (UGPU and
-  CD-Search repartition here; static baselines do nothing).
+penalties, and collecting STP/ANTT/energy at the end.  *What* the
+partition looks like is delegated to a composed
+:class:`~repro.policies.base.PartitionPolicy` (UGPU, BP variants, MPS,
+CD-Search) through five hooks: ``initial_partition``,
+``throughput_for``, ``on_epoch_end``, ``on_app_arrival`` and
+``on_app_departure``.  The old inheritance spellings
+(``UGPUSystem(apps)`` etc.) survive as deprecated shims around
+``MultitaskSystem(apps, policy=...)``.
 
 Reallocation penalties are expressed as (window_cycles, slowdown_factor)
 charges: during the window the application loses ``factor`` of its
 throughput.  This matches the paper's behaviour where applications keep
 executing while SMs drain/switch and pages migrate (Section 6.3).
+
+Closed versus open system
+-------------------------
+Without an arrival schedule the runner reproduces the paper's closed
+evaluation: a fixed mix over the whole horizon, byte-for-byte identical
+to the pre-refactor subclasses.  With ``arrivals=ArrivalSchedule(...)``
+the runner becomes an open system: at each epoch boundary it retires
+jobs that consumed their instruction budget (``departure``), queues new
+jobs whose arrival cycle has passed (``arrival``), and grants slices to
+queued jobs while residency is below ``max_slots`` (``admission``) —
+departures run first so a same-boundary arrival can take the freed slot.
+Each membership change flows through the policy hooks, which reuse the
+:class:`PenaltyCharge` machinery so joins and leaves pay realistic
+reallocation cost.  Open runs return an :class:`OpenSystemResult` with
+occupancy-weighted interval STP/ANTT, queueing delay and makespan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.slices import PartitionState, ResourceAllocation
 from repro.errors import ConfigError, SimulationError
@@ -28,9 +44,19 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
 from repro.gpu.performance import PerformanceModel, SliceThroughput
 from repro.metrics.energy import EnergyBreakdown, EnergyModel
-from repro.metrics.multiprogram import AppRun, antt, stp
+from repro.metrics.multiprogram import (
+    AppRun,
+    IntervalRun,
+    antt,
+    interval_antt,
+    interval_stp,
+    makespan,
+    mean_queueing_delay,
+    stp,
+)
 from repro.sim.epoch import EpochResult, EpochRunner
 from repro.vm.oversubscription import FaultOverheadModel
+from repro.workloads.arrivals import ArrivalEvent, ArrivalSchedule
 
 
 @dataclass
@@ -60,7 +86,12 @@ class PenaltyCharge:
 
 @dataclass
 class AppState:
-    """Simulation state of one co-executing application."""
+    """Simulation state of one co-executing application.
+
+    The lifecycle fields default to the closed-system values: arrived
+    and admitted at cycle 0, no budget (resident until the horizon),
+    never departed.
+    """
 
     app: Application
     allocation: ResourceAllocation
@@ -68,15 +99,26 @@ class AppState:
     dram_bytes: float = 0.0
     penalties: List[PenaltyCharge] = field(default_factory=list)
     migrated_bytes: float = 0.0
+    arrival_cycle: int = 0
+    admit_cycle: int = 0
+    depart_cycle: Optional[int] = None
+    budget_instructions: Optional[int] = None
 
     @property
     def app_id(self) -> int:
         return self.app.app_id
 
+    @property
+    def retired_budget(self) -> bool:
+        return (
+            self.budget_instructions is not None
+            and self.instructions >= self.budget_instructions
+        )
+
 
 @dataclass
 class SystemResult:
-    """Outcome of a multiprogram simulation."""
+    """Outcome of a closed-system multiprogram simulation."""
 
     policy: str
     mix_name: str
@@ -96,25 +138,89 @@ class SystemResult:
 
     @property
     def min_np(self) -> float:
+        if not self.runs:
+            raise SimulationError(
+                f"{self.policy}/{self.mix_name}: no application runs to take "
+                "min_np over (every application departed before the horizon?); "
+                "open-system runs report interval metrics on OpenSystemResult"
+            )
         return min(run.normalized_progress for run in self.runs)
 
     def migration_fractions(self) -> List[float]:
         return [e.migration_fraction for e in self.epochs]
 
 
+@dataclass
+class OpenSystemResult:
+    """Outcome of an open-system (arrival/departure) simulation.
+
+    ``runs`` covers every job that was ever admitted — still-resident
+    jobs have ``depart_cycle=None``.  ``arrivals`` counts jobs whose
+    arrival cycle fell inside the simulated horizon; jobs that arrived
+    but were never admitted are ``arrivals - admissions``.
+    """
+
+    policy: str
+    mix_name: str
+    runs: List[IntervalRun]
+    epochs: List[EpochResult]
+    total_cycles: int
+    energy: Optional[EnergyBreakdown] = None
+    repartitions: int = 0
+    arrivals: int = 0
+    admissions: int = 0
+    departures: int = 0
+
+    @property
+    def stp(self) -> float:
+        """Occupancy-weighted interval STP."""
+        return interval_stp(self.runs, self.total_cycles)
+
+    @property
+    def antt(self) -> float:
+        """Occupancy-weighted interval ANTT."""
+        return interval_antt(self.runs, self.total_cycles)
+
+    @property
+    def makespan(self) -> int:
+        return makespan(self.runs, self.total_cycles)
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        return mean_queueing_delay(self.runs)
+
+    def migration_fractions(self) -> List[float]:
+        return [e.migration_fraction for e in self.epochs]
+
+
+#: Process-wide memo of solo-run IPCs: the Equation 3/4 denominator is a
+#: pure function of (application content, config, horizon, epoch length,
+#: memory size), and sweeps re-derive it for every policy sharing a mix.
+_SOLO_IPC_CACHE: Dict[Tuple, float] = {}
+
+
+def clear_solo_ipc_cache() -> None:
+    """Drop the process-wide solo-IPC memo (for tests)."""
+    _SOLO_IPC_CACHE.clear()
+
+
 class MultitaskSystem:
-    """Base epoch-level runner; see module docstring for the hooks."""
+    """The shared epoch-level runner; composes a
+    :class:`~repro.policies.base.PartitionPolicy`."""
 
     policy_name = "base"
 
     def __init__(
         self,
         applications: Sequence[Application],
-        config: GPUConfig = GPUConfig(),
+        config: Optional[GPUConfig] = None,
         epoch_cycles: int = 5_000_000,
         energy_model: Optional[EnergyModel] = None,
         total_memory_bytes: Optional[int] = None,
         tracer=None,
+        policy=None,
+        arrivals: Optional[ArrivalSchedule] = None,
+        max_slots: Optional[int] = None,
     ) -> None:
         """``total_memory_bytes`` enables memory-oversubscription modelling
         (paper Sections 3.2 and 5): each slice's capacity is proportional
@@ -123,10 +229,27 @@ class MultitaskSystem:
         :class:`repro.vm.oversubscription.FaultOverheadModel`.
 
         ``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
-        ``epoch`` span per simulated epoch; policy subclasses add
-        ``realloc``/``qos``/``migration`` records on top."""
-        if not applications:
+        ``epoch`` span per simulated epoch; policies add
+        ``realloc``/``qos``/``migration`` records, and the open-system
+        lifecycle ``arrival``/``admission``/``departure`` records, on top.
+
+        ``policy`` is the composed :class:`PartitionPolicy` (default: the
+        even static baseline).  ``arrivals`` switches the runner into
+        open-system mode; ``max_slots`` caps concurrent residency
+        (default: how many minimum slices the GPU can host)."""
+        if policy is None:
+            from repro.policies.base import PartitionPolicy
+
+            policy = PartitionPolicy()
+        else:
+            # An explicit policy names the run; legacy subclasses keep
+            # their class-level policy_name.
+            self.policy_name = policy.policy_name
+        self.policy = policy
+        self._open = arrivals is not None and len(arrivals) > 0
+        if not applications and not self._open:
             raise ConfigError("need at least one application")
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
         self.perf = PerformanceModel(config)
@@ -140,35 +263,70 @@ class MultitaskSystem:
         #: Cycle stamp for trace records emitted outside :meth:`_step`
         #: (e.g. QoS enforcement during construction happens at cycle 0).
         self._trace_now = 0
+        self.repartitions = 0
+        self.policy.bind(self)
         self.partition = self.initial_partition(applications)
         self.apps: Dict[int, AppState] = {}
         for app in applications:
             self.apps[app.app_id] = AppState(
                 app=app, allocation=self.partition.allocation(app.app_id)
             )
-        self.repartitions = 0
+        # Open-system state.
+        self.arrivals = arrivals
+        self._pending: List[ArrivalEvent] = list(arrivals) if arrivals else []
+        self._wait_queue: List[ArrivalEvent] = []
+        self.departed: Dict[int, AppState] = {}
+        self._admitted_order: List[AppState] = list(self.apps.values())
+        self.arrivals_seen = 0
+        self.admissions = 0
+        self.departures = 0
+        if max_slots is None:
+            # How many minimum slices (4 SMs / 4 channels, the
+            # PartitionState floors) the physical GPU can host: 8 for the
+            # Table 1 machine (32 channels / 4).
+            max_slots = min(config.num_sms // 4, config.num_channels // 4)
+        if max_slots < len(self.apps):
+            raise ConfigError(
+                f"max_slots={max_slots} below the {len(self.apps)} initial "
+                "applications"
+            )
+        self.max_slots = max_slots
+        self.policy.on_start()
 
-    # ------------------------------------------------------------------
-    # Hooks
-    # ------------------------------------------------------------------
-    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
-        """Default: the balanced partition (BP)."""
-        return PartitionState.even(
-            [a.app_id for a in applications],
-            total_sms=self.config.num_sms,
-            total_channels=self.config.num_channels,
+    def __getattr__(self, name: str):
+        # Compatibility: pre-refactor subclasses exposed policy state
+        # (profiler, hysteresis, suppressed_repartitions, mode, ...) as
+        # system attributes; delegate unknown public names to the policy.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        policy = self.__dict__.get("policy")
+        if policy is not None and hasattr(policy, name):
+            return getattr(policy, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
 
+    # ------------------------------------------------------------------
+    # Hooks (delegated to the policy; legacy subclasses may override)
+    # ------------------------------------------------------------------
+    def initial_partition(self, applications: Sequence[Application]) -> PartitionState:
+        return self.policy.initial_partition(applications)
+
     def throughput_for(self, state: AppState) -> SliceThroughput:
-        """Evaluate the app's current kernel on its isolated slice."""
+        return self.policy.throughput_for(state)
+
+    def at_epoch_end(self, epoch_index: int, span: int) -> None:
+        self.policy.on_epoch_end(epoch_index, span)
+
+    def slice_throughput(self, state: AppState) -> SliceThroughput:
+        """Evaluate the app's current kernel on its isolated slice (the
+        default policy behaviour; policies layer contention or profiling
+        on top)."""
         return self.perf.throughput(
             state.app.current_kernel,
             state.allocation.sms,
             state.allocation.channels,
         )
-
-    def at_epoch_end(self, epoch_index: int, span: int) -> None:
-        """Policy hook: static baselines do nothing."""
 
     def capacity_factor(self, state: AppState, throughput: SliceThroughput) -> float:
         """Far-fault throughput factor when oversubscription is modelled."""
@@ -224,7 +382,10 @@ class MultitaskSystem:
         )
         before = self.repartitions
         self._trace_now = result.end_cycle
-        self.at_epoch_end(epoch_index, span)
+        if self.apps:
+            self.at_epoch_end(epoch_index, span)
+        if self._open:
+            self._process_boundary(result.end_cycle)
         result.repartitioned = self.repartitions > before
         # Snapshot the (possibly just-updated) partition for dynamics
         # analysis: {app_id: (sms, channels)} at the end of this epoch.
@@ -243,12 +404,68 @@ class MultitaskSystem:
         return result
 
     # ------------------------------------------------------------------
+    # Open-system lifecycle
+    # ------------------------------------------------------------------
+    def _process_boundary(self, now: int) -> None:
+        """Departures, then arrivals, then admissions — in that order, so
+        a slot freed this boundary serves a job queued this boundary."""
+        for app_id in [a for a, s in self.apps.items() if s.retired_budget]:
+            state = self.apps.pop(app_id)
+            state.depart_cycle = now
+            state.penalties = []
+            self.departed[app_id] = state
+            self.departures += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "departure", state.app.name, time=now,
+                    app_id=app_id, instructions=state.instructions,
+                    resident_cycles=now - state.admit_cycle,
+                )
+            self.policy.on_app_departure(state)
+        while self._pending and self._pending[0].cycle <= now:
+            event = self._pending.pop(0)
+            self._wait_queue.append(event)
+            self.arrivals_seen += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "arrival", event.app.name, time=event.cycle,
+                    app_id=event.app.app_id,
+                )
+        while self._wait_queue and len(self.apps) < self.max_slots:
+            event = self._wait_queue.pop(0)
+            state = AppState(
+                app=event.app,
+                allocation=ResourceAllocation(0, 0),
+                arrival_cycle=event.cycle,
+                admit_cycle=now,
+                budget_instructions=event.budget_instructions,
+            )
+            self.apps[event.app.app_id] = state
+            self._admitted_order.append(state)
+            self.admissions += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "admission", event.app.name, time=now,
+                    app_id=event.app.app_id,
+                    queueing_delay=now - event.cycle,
+                )
+            self.policy.on_app_arrival(state)
+
+    def _drained(self, _result: EpochResult) -> bool:
+        """Early exit for open runs: nothing resident, queued or pending."""
+        return not self.apps and not self._wait_queue and not self._pending
+
+    # ------------------------------------------------------------------
     # Full runs
     # ------------------------------------------------------------------
     def run(self, total_cycles: int = 25_000_000,
-            mix_name: Optional[str] = None) -> SystemResult:
-        """Simulate the mix for ``total_cycles`` GPU cycles (the paper's
-        horizon is 25M) and report STP/ANTT against solo runs."""
+            mix_name: Optional[str] = None):
+        """Simulate for ``total_cycles`` GPU cycles (the paper's horizon
+        is 25M).  Closed runs (no arrival schedule) return a
+        :class:`SystemResult`; open runs return an
+        :class:`OpenSystemResult`."""
+        if self._open:
+            return self._run_open(total_cycles, mix_name)
         runner = EpochRunner(self.epoch_cycles)
         epochs = runner.run(self._step, total_cycles)
         alone = self.alone_ipcs(total_cycles)
@@ -263,61 +480,137 @@ class MultitaskSystem:
                     ipc_alone=alone[state.app_id],
                 )
             )
-        energy = None
-        if self.energy_model is not None:
-            total_instr = sum(s.instructions for s in self.apps.values())
-            total_dram = sum(s.dram_bytes for s in self.apps.values())
-            total_migrated = sum(s.migrated_bytes for s in self.apps.values())
-            energy = self.energy_model.energy(
-                cycles=total_cycles,
-                instructions=total_instr,
-                dram_bytes=total_dram,
-                migrated_bytes=total_migrated,
-            )
         return SystemResult(
             policy=self.policy_name,
             mix_name=mix_name or "_".join(s.app.name for s in self.apps.values()),
             runs=runs,
             epochs=epochs,
             total_cycles=total_cycles,
-            energy=energy,
+            energy=self._energy(total_cycles, self.apps.values()),
             repartitions=self.repartitions,
         )
 
+    def _run_open(self, total_cycles: int,
+                  mix_name: Optional[str]) -> OpenSystemResult:
+        runner = EpochRunner(self.epoch_cycles)
+        epochs = runner.run(self._step, total_cycles, stop_when=self._drained)
+        runs = []
+        for state in self._admitted_order:
+            if state.depart_cycle is None and state.admit_cycle >= total_cycles:
+                # Admitted exactly at the horizon: never executed.
+                continue
+            interval = (
+                (state.depart_cycle if state.depart_cycle is not None
+                 else total_cycles) - state.admit_cycle
+            )
+            runs.append(
+                IntervalRun(
+                    app_id=state.app_id,
+                    name=state.app.name,
+                    instructions=state.instructions,
+                    ipc_alone=self._solo_ipc(state.app, interval),
+                    arrival_cycle=state.arrival_cycle,
+                    admit_cycle=state.admit_cycle,
+                    depart_cycle=state.depart_cycle,
+                )
+            )
+        all_states = list(self._admitted_order)
+        return OpenSystemResult(
+            policy=self.policy_name,
+            mix_name=mix_name or "open",
+            runs=runs,
+            epochs=epochs,
+            total_cycles=total_cycles,
+            energy=self._energy(total_cycles, all_states),
+            repartitions=self.repartitions,
+            arrivals=self.arrivals_seen,
+            admissions=self.admissions,
+            departures=self.departures,
+        )
+
+    def _energy(self, total_cycles: int,
+                states) -> Optional[EnergyBreakdown]:
+        if self.energy_model is None:
+            return None
+        total_instr = sum(s.instructions for s in states)
+        total_dram = sum(s.dram_bytes for s in states)
+        total_migrated = sum(s.migrated_bytes for s in states)
+        return self.energy_model.energy(
+            cycles=total_cycles,
+            instructions=total_instr,
+            dram_bytes=total_dram,
+            migrated_bytes=total_migrated,
+        )
+
+    # ------------------------------------------------------------------
+    # Solo-run denominator (memoized per process)
+    # ------------------------------------------------------------------
     def alone_ipcs(self, total_cycles: int) -> Dict[int, float]:
         """IPC of each application running alone on the whole GPU for the
         same horizon (the Equation 3/4 denominator)."""
-        results: Dict[int, float] = {}
-        for state in self.apps.values():
-            solo = state.app.clone()
-            instructions = 0
-            elapsed = 0
-            while elapsed < total_cycles:
-                span = min(self.epoch_cycles, total_cycles - elapsed)
-                t = self.perf.throughput(
-                    solo.current_kernel, self.config.num_sms, self.config.num_channels
+        return {
+            state.app_id: self._solo_ipc(state.app, total_cycles)
+            for state in self.apps.values()
+        }
+
+    @staticmethod
+    def _curve_key(curve) -> Optional[Tuple]:
+        if curve is None:
+            return None
+        return (
+            curve.reference_capacity, curve.reference_hit_rate,
+            curve.working_set, curve.peak_hit_rate, curve.alpha,
+        )
+
+    def _solo_cache_key(self, app: Application, total_cycles: int) -> Tuple:
+        kernels = tuple(
+            (
+                k.name, k.ipc_per_sm, k.apki_llc, k.llc_hit_rate,
+                k.footprint_bytes, k.instructions,
+                self._curve_key(k.hit_curve),
+            )
+            for k in app.kernels
+        )
+        return (
+            app.name, kernels, repr(self.config), total_cycles,
+            self.epoch_cycles, self.total_memory_bytes,
+        )
+
+    def _solo_ipc(self, app: Application, total_cycles: int) -> float:
+        key = self._solo_cache_key(app, total_cycles)
+        cached = _SOLO_IPC_CACHE.get(key)
+        if cached is not None:
+            return cached
+        solo = app.clone()
+        instructions = 0
+        elapsed = 0
+        while elapsed < total_cycles:
+            span = min(self.epoch_cycles, total_cycles - elapsed)
+            t = self.perf.throughput(
+                solo.current_kernel, self.config.num_sms, self.config.num_channels
+            )
+            factor = 1.0
+            if self.fault_model is not None:
+                charge = self.fault_model.charge(
+                    solo.footprint_bytes,
+                    float(self.total_memory_bytes),
+                    t.dram_bytes_per_cycle,
                 )
-                factor = 1.0
-                if self.fault_model is not None:
-                    charge = self.fault_model.charge(
-                        solo.footprint_bytes,
-                        float(self.total_memory_bytes),
-                        t.dram_bytes_per_cycle,
-                    )
-                    factor = charge.throughput_factor
-                retired = int(t.ipc * span * factor)
-                solo.advance(retired)
-                instructions += retired
-                elapsed += span
-            if instructions <= 0:
-                raise SimulationError(
-                    f"{state.app.name}: solo run retired no instructions"
-                )
-            results[state.app_id] = instructions / total_cycles
-        return results
+                factor = charge.throughput_factor
+            retired = int(t.ipc * span * factor)
+            solo.advance(retired)
+            instructions += retired
+            elapsed += span
+        if instructions <= 0:
+            raise SimulationError(
+                f"{app.name}: solo run retired no instructions"
+            )
+        ipc = instructions / total_cycles
+        _SOLO_IPC_CACHE[key] = ipc
+        return ipc
 
     # ------------------------------------------------------------------
-    # Helpers for subclasses
+    # Helpers for policies
     # ------------------------------------------------------------------
     def set_allocation(self, app_id: int,
                        allocation: ResourceAllocation) -> ResourceAllocation:
@@ -331,6 +624,14 @@ class MultitaskSystem:
         self.partition.assign_all(dict(allocations))
         for app_id, allocation in allocations.items():
             self.apps[app_id].allocation = allocation
+
+    def replace_partition(self, partition: PartitionState) -> None:
+        """Swap in a freshly constructed partition (MPS membership
+        changes rebuild their nominal budget); slices must already be
+        assigned for every resident."""
+        self.partition = partition
+        for app_id, state in self.apps.items():
+            state.allocation = partition.allocation(app_id)
 
     def add_penalty(self, app_id: int, window_cycles: float, factor: float,
                     counts_as_migration: bool = True) -> None:

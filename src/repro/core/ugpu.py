@@ -1,59 +1,44 @@
-"""The UGPU system: demand-aware repartitioning plus PageMove costing.
+"""Deprecated shim: ``UGPUSystem`` as a subclass spelling.
 
-Epoch flow (Sections 3.3 and 4):
+The UGPU algorithm now lives in :class:`repro.policies.ugpu.UGPUPolicy`
+and composes with the shared :class:`~repro.core.system.MultitaskSystem`
+runner::
 
-1. Applications execute on their current slices; hardware counters fill.
-2. At the boundary the profiler produces per-app
-   :class:`~repro.core.profiler.AppProfile` records and the demand-aware
-   partitioner computes a (possibly) new partition.  The fixed-function
-   unit's latency (<= 3388 cycles) is charged.
-3. If the partition changed, SMs drain or switch and memory channels are
-   reallocated.  Page migration is costed by mode:
+    MultitaskSystem(apps, policy=UGPUPolicy(mode=..., qos=...))
 
-   * ``PPMM`` (PageMove): pages in lost channels move eagerly over idle
-     TSVs; the gaining application rebalances lazily (demand faults plus a
-     background trickle), so its penalty is small and overlapped.
-   * ``SOFTWARE`` (UGPU-Soft): same page sets, but copies monopolize the
-     involved channels' data buses.
-   * ``TRADITIONAL`` (UGPU-Ori): no PageMove mapping discipline — the
-     gaining side must also be populated eagerly through the GPU, and the
-     copies pollute the NoC/LLC, slowing every co-executing application.
-
-4. Migration windows longer than the per-epoch budget spill into later
-   epochs (the penalty carry-over in :class:`~repro.core.system`).
+``UGPUSystem(apps, ...)`` keeps working for one release: it builds the
+policy from the same keyword arguments, emits a
+:class:`DeprecationWarning`, and delegates everything else to the
+runner (policy attributes such as ``profiler``/``hysteresis`` remain
+reachable through the runner's attribute fallback).
 
 ``offline=True`` models UGPU-offline: the partition is computed from the
-applications' known profiles before cycle zero, pages are allocated into
-the right channels from the start, and no reallocation ever happens —
-the paper's zero-overhead ideal.
+static Table 2 profiles once and never revisited (the paper's ideal).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
-from repro.core.hardware_cost import AlgorithmCostModel
-from repro.core.partitioner import DemandAwarePartitioner, PartitionDecision
-from repro.core.profiler import AppProfile, EpochProfiler
-from repro.core.qos import QoSTarget, estimated_np, meets_target
-from repro.core.reallocation import SMReallocator
-from repro.core.slices import PartitionState, ResourceAllocation
-from repro.core.system import AppState, MultitaskSystem
+from repro.core.qos import QoSTarget
+from repro.core.system import MultitaskSystem
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
 from repro.metrics.energy import EnergyModel
-from repro.pagemove.cost import MigrationCostModel, MigrationMode
+from repro.pagemove.cost import MigrationMode
+from repro.policies.ugpu import UGPUPolicy
 
 
 class UGPUSystem(MultitaskSystem):
-    """Dynamically constructed unbalanced GPU slices."""
+    """Dynamically constructed unbalanced GPU slices (deprecated spelling)."""
 
     policy_name = "UGPU"
 
     def __init__(
         self,
         applications: Sequence[Application],
-        config: GPUConfig = GPUConfig(),
+        config: Optional[GPUConfig] = None,
         epoch_cycles: int = 5_000_000,
         mode: MigrationMode = MigrationMode.PPMM,
         offline: bool = False,
@@ -70,378 +55,31 @@ class UGPUSystem(MultitaskSystem):
         hysteresis: float = 0.0,
         tracer=None,
     ) -> None:
-        """``hysteresis``: minimum estimated relative STP gain required to
-        actually apply a new partition.  The paper notes that for
-        workloads whose epoch-level behaviour barely changes,
-        "reallocation overhead could outweigh its benefits" (Section
-        3.3); a small hysteresis (e.g. 0.03) suppresses such churn.  The
-        default 0 reproduces the paper's always-apply behaviour."""
-        super().__init__(applications, config, epoch_cycles, energy_model,
-                         total_memory_bytes=total_memory_bytes, tracer=tracer)
-        self.mode = mode
-        self.offline = offline
-        self.qos = qos
-        self.profiler = EpochProfiler(config)
-        for app in applications:
-            self.profiler.track(
-                app.app_id,
-                ipc_max_per_sm=max(k.ipc_per_sm for k in app.kernels),
-                footprint_bytes=app.footprint_bytes,
-            )
-        self.partitioner = DemandAwarePartitioner(
-            self.partition,
+        warnings.warn(
+            "UGPUSystem is deprecated; use "
+            "MultitaskSystem(apps, policy=UGPUPolicy(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        policy = UGPUPolicy(
+            mode=mode,
+            offline=offline,
+            qos=qos,
             sm_step=sm_step,
-            gpu_config=config,
-            memory_capacity_bytes=total_memory_bytes,
+            lazy_overlap=lazy_overlap,
+            lazy_fraction=lazy_fraction,
+            tb_duration_cycles=tb_duration_cycles,
+            migration_budget_cycles=migration_budget_cycles,
+            flush_window_cycles=flush_window_cycles,
+            flush_factor=flush_factor,
+            hysteresis=hysteresis,
         )
-        self.algorithm_cost = AlgorithmCostModel()
-        self.sm_reallocator = SMReallocator(config)
-        self.migration_cost = MigrationCostModel(config.hbm)
-        self.lazy_overlap = lazy_overlap
-        self.lazy_fraction = lazy_fraction
-        self.tb_duration_cycles = tb_duration_cycles
-        self.page_size = self.migration_cost.mapping.page_size
-        #: Per-reallocation cap on migration work: the driver's migration
-        #: queue is bounded, so one reallocation occupies at most this many
-        #: cycles.  PageMove drains its (cheap) migrations within an epoch;
-        #: the software paths string their copies out over several epochs,
-        #: which is exactly why UGPU-Ori loses to BP (Section 6.2).
-        if migration_budget_cycles is not None:
-            self.migration_budget_cycles = migration_budget_cycles
-        elif mode is MigrationMode.PPMM:
-            # PageMove's migration queue drains ~12.5K pages (50 MB) per
-            # reallocation event; anything beyond trickles in on later
-            # demand faults.
-            self.migration_budget_cycles = 0.2 * epoch_cycles
-        else:
-            # The software paths share the same driver migration queue;
-            # their (much) higher per-page cost is what separates
-            # UGPU-Soft from UGPU-Ori, not the queue depth.
-            self.migration_budget_cycles = 2.0 * epoch_cycles
-        #: Reallocation coherence cost: PageMove flushes L1 TLBs, in-flight
-        #: pipeline state and the L1/L2 caches (Section 4.4); every
-        #: application pays a refill/warm-up window after a repartition.
-        self.flush_window_cycles = flush_window_cycles
-        self.flush_factor = flush_factor
-        if hysteresis < 0:
-            raise ValueError("hysteresis must be non-negative")
-        self.hysteresis = hysteresis
-        self.suppressed_repartitions = 0
-        if offline:
-            self._apply_offline_partition()
-            self.policy_name = "UGPU-offline"
-        elif self.mode is not MigrationMode.PPMM:
-            self.policy_name = f"UGPU-{self.mode.value}"
-        if qos is not None and not offline:
-            # The high-priority application is known upfront (the paper's
-            # QoS scenario identifies it before launch), so its slice is
-            # sized for the target from cycle zero; only the remaining
-            # resources are repartitioned dynamically.
-            initial = PartitionDecision(
-                allocations={a: s.allocation for a, s in self.apps.items()},
-                iterations=0,
-            )
-            initial = self._enforce_qos(initial, self._static_profiles())
-            self.apply_partition(initial.allocations)
-
-    # ------------------------------------------------------------------
-    # Offline mode
-    # ------------------------------------------------------------------
-    def _static_profiles(self) -> Dict[int, AppProfile]:
-        """Profiles from the applications' known (offline) parameters."""
-        profiles = {}
-        for state in self.apps.values():
-            kernel = state.app.current_kernel
-            profiles[state.app_id] = AppProfile(
-                app_id=state.app_id,
-                ipc_max_per_sm=kernel.ipc_per_sm,
-                apki_llc=kernel.apki_llc,
-                llc_hit_rate=kernel.llc_hit_rate,
-                bw_demand_per_sm=self.profiler.bw_demand_per_sm(
-                    kernel.ipc_per_sm, kernel.apki_llc
-                ),
-                bw_supply_per_mc=self.profiler.bw_supply_per_mc(kernel.llc_hit_rate),
-                footprint_bytes=state.app.footprint_bytes,
-            )
-        return profiles
-
-    def _apply_offline_partition(self) -> None:
-        decision = self.partitioner.compute(self._static_profiles())
-        decision = self._enforce_qos(decision, self._static_profiles())
-        self.apply_partition(decision.allocations)
-
-    # ------------------------------------------------------------------
-    # Epoch hook
-    # ------------------------------------------------------------------
-    def throughput_for(self, state: AppState):
-        throughput = super().throughput_for(state)
-        self.profiler.observe_epoch(state.app_id, throughput, self.epoch_cycles)
-        return throughput
-
-    def at_epoch_end(self, epoch_index: int, span: int) -> None:
-        profiles = {
-            app_id: self.profiler.profile(app_id) for app_id in self.apps
-        }
-        if self.offline:
-            return  # partition fixed before execution
-        previous = {a: s.allocation for a, s in self.apps.items()}
-        decision = self.partitioner.compute(profiles)
-        decision = self._enforce_qos(decision, profiles)
-        decision.latency_cycles = self.algorithm_cost.total_cycles(
-            decision.iterations, num_apps=len(self.apps)
+        super().__init__(
+            applications,
+            config,
+            epoch_cycles,
+            energy_model,
+            total_memory_bytes=total_memory_bytes,
+            tracer=tracer,
+            policy=policy,
         )
-        if not decision.changed_from(previous):
-            return
-        if self.hysteresis > 0 and not self._worth_applying(
-            previous, decision.allocations, profiles
-        ):
-            self.suppressed_repartitions += 1
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "realloc", "suppress", time=self._trace_now,
-                    epoch=epoch_index, hysteresis=self.hysteresis,
-                )
-            return
-        self.apply_partition(decision.allocations)
-        self.repartitions += 1
-        if self.tracer is not None:
-            self.tracer.emit(
-                "realloc", "apply", time=self._trace_now,
-                epoch=epoch_index,
-                iterations=decision.iterations,
-                latency_cycles=decision.latency_cycles,
-                allocations={
-                    app_id: [alloc.sms, alloc.channels]
-                    for app_id, alloc in decision.allocations.items()
-                },
-            )
-        self._charge_reallocation(previous, decision, profiles)
-
-    def _worth_applying(self, previous, proposed, profiles) -> bool:
-        """Estimated relative STP gain must clear the hysteresis bar."""
-        from repro.core.qos import estimated_ipc
-
-        old_stp = new_stp = 0.0
-        for app_id, profile in profiles.items():
-            alone = estimated_ipc(
-                profile,
-                ResourceAllocation(self.config.num_sms, self.config.num_channels),
-                self.config,
-            )
-            if alone <= 0:
-                continue
-            old_stp += estimated_ipc(profile, previous[app_id], self.config) / alone
-            new_stp += estimated_ipc(profile, proposed[app_id], self.config) / alone
-        if old_stp <= 0:
-            return True
-        return (new_stp - old_stp) / old_stp >= self.hysteresis
-
-    # ------------------------------------------------------------------
-    # QoS enforcement
-    # ------------------------------------------------------------------
-    def _enforce_qos(self, decision: PartitionDecision,
-                     profiles: Dict[int, AppProfile]) -> PartitionDecision:
-        """Grow the high-priority slice until its estimated NP clears the
-        target, pulling resources back from the other slices."""
-        if self.qos is None:
-            return decision
-        # Enforce against a padded floor: the counter-based NP estimate is
-        # optimistic about hit rates at small LLC allocations and about a
-        # multi-kernel app's heavier phases, so provision a ~6% guard band.
-        target = QoSTarget(
-            self.qos.app_id, min(1.0, self.qos.target_np * 1.06)
-        )
-        allocations = dict(decision.allocations)
-        profile = profiles[target.app_id]
-        others = [a for a in allocations if a != target.app_id]
-        if not others:
-            return decision
-
-        def satisfied() -> bool:
-            return meets_target(
-                profile, allocations[target.app_id], self.config, target
-            )
-
-        def np_now() -> float:
-            return estimated_np(profile, allocations[target.app_id], self.config)
-
-        guard = 0
-        while not satisfied() and guard < 64:
-            guard += 1
-            moved = False
-            for resource, step, minimum in (
-                ("sms", self.partitioner.sm_step, self.partition.min_sms),
-                ("channels", self.partitioner.mc_step, self.partition.min_channels),
-            ):
-                donor = max(others, key=lambda a: getattr(allocations[a], resource))
-                if getattr(allocations[donor], resource) - step < minimum:
-                    continue
-                d_sms = step if resource == "sms" else 0
-                d_channels = step if resource == "channels" else 0
-                before = np_now()
-                allocations[target.app_id] = allocations[target.app_id].move(
-                    d_sms=d_sms, d_channels=d_channels
-                )
-                # Only keep the transfer if it actually raises the
-                # high-priority app's progress — a compute-bound app must
-                # not hoard channels the low-priority app could use.
-                if np_now() <= before + 1e-9:
-                    allocations[target.app_id] = allocations[target.app_id].move(
-                        d_sms=-d_sms, d_channels=-d_channels
-                    )
-                    continue
-                allocations[donor] = allocations[donor].move(
-                    d_sms=-d_sms, d_channels=-d_channels
-                )
-                moved = True
-                if satisfied():
-                    break
-            if not moved:
-                break
-        if self.tracer is not None:
-            before_alloc = decision.allocations[target.app_id]
-            after_alloc = allocations[target.app_id]
-            if after_alloc != before_alloc:
-                self.tracer.emit(
-                    "qos", "enforce", time=self._trace_now,
-                    app_id=target.app_id,
-                    target_np=self.qos.target_np,
-                    estimated_np=np_now(),
-                    granted_sms=after_alloc.sms - before_alloc.sms,
-                    granted_channels=after_alloc.channels - before_alloc.channels,
-                )
-        decision.allocations = allocations
-        return decision
-
-    # ------------------------------------------------------------------
-    # Reallocation costing
-    # ------------------------------------------------------------------
-    def _resident_pages(self, state: AppState) -> int:
-        """Pages the application has touched so far.
-
-        Bounded by both the footprint and the DRAM traffic the app has
-        generated (a page cannot become resident without at least one line
-        of DRAM traffic), so cache-resident compute-bound applications
-        only ever migrate the small page set they actually populated.
-        """
-        footprint_pages = state.app.footprint_bytes // self.page_size
-        touched = int(state.dram_bytes // self.page_size) + 1
-        return min(footprint_pages, touched)
-
-    def _charge_reallocation(
-        self,
-        previous: Dict[int, ResourceAllocation],
-        decision: PartitionDecision,
-        profiles: Dict[int, AppProfile],
-    ) -> None:
-        algorithm_window = float(decision.latency_cycles)
-        for app_id, state in self.apps.items():
-            old = previous[app_id]
-            new = decision.allocations[app_id]
-            profile = profiles[app_id]
-            sensitivity = min(1.0, profile.demand_supply_ratio(new.sms, new.channels))
-
-            # Algorithm latency stalls the reconfiguration, not execution,
-            # but we charge it conservatively to everyone.
-            self.add_penalty(app_id, algorithm_window, 1.0)
-
-            # Cache/TLB flush and refill (Section 4.4's coherence step).
-            self.add_penalty(
-                app_id, self.flush_window_cycles, self.flush_factor
-            )
-
-            # SM handover: the moved SMs are unavailable for the drain or
-            # switch window.
-            moved_sms = abs(new.sms - old.sms)
-            if moved_sms and new.sms > 0:
-                charge = self.sm_reallocator.cost(
-                    moved_sms, self.tb_duration_cycles, self.epoch_cycles,
-                    channels_available=max(1, new.channels),
-                )
-                self.add_penalty(
-                    app_id, charge.cycles, min(1.0, moved_sms / new.sms)
-                )
-                state.migrated_bytes += charge.dram_bytes
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        "realloc", "sm-handover", time=self._trace_now,
-                        duration=charge.cycles, app_id=app_id,
-                        policy=charge.policy.value, sms=moved_sms,
-                        dram_bytes=charge.dram_bytes,
-                    )
-
-            resident = self._resident_pages(state)
-            lost = max(0, old.channels - new.channels)
-            gained = max(0, new.channels - old.channels)
-            budget_pages = int(
-                self.migration_budget_cycles
-                / self.migration_cost.page_cycles(self.mode)
-            )
-
-            if lost and old.channels > 0:
-                eager_pages = min(resident * lost // old.channels, budget_pages)
-                budget_pages -= eager_pages
-                charge = self.migration_cost.charge(eager_pages, self.mode)
-                self.add_penalty(
-                    app_id, charge.window_cycles,
-                    charge.channel_bw_penalty * sensitivity,
-                )
-                state.migrated_bytes += charge.bytes_moved
-                self._charge_global(charge)
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        "migration", "eager", time=self._trace_now,
-                        duration=charge.window_cycles, app_id=app_id,
-                        pages=eager_pages, mode=self.mode.value,
-                        lost_channels=lost, bytes_moved=charge.bytes_moved,
-                    )
-
-            if gained and new.channels > 0:
-                rebalance_pages = min(
-                    resident * gained // new.channels, max(0, budget_pages)
-                )
-                if self.mode is MigrationMode.TRADITIONAL:
-                    # No PageMove mapping discipline: the new channels must
-                    # be populated eagerly through the GPU.
-                    charge = self.migration_cost.charge(rebalance_pages, self.mode)
-                    self.add_penalty(
-                        app_id, charge.window_cycles,
-                        charge.channel_bw_penalty * sensitivity,
-                    )
-                else:
-                    # PageMove defers part of the rebalance to demand
-                    # faults (lazy_fraction) and overlaps the copies with
-                    # execution over idle TSVs (lazy_overlap).  The
-                    # software path can do neither: its copies go through
-                    # the channel data buses and must complete before the
-                    # new channels carry balanced traffic.
-                    if self.mode is MigrationMode.PPMM:
-                        lazy_pages = int(rebalance_pages * self.lazy_fraction)
-                        overlap = self.lazy_overlap
-                    else:
-                        lazy_pages = rebalance_pages
-                        overlap = 1.0
-                    charge = self.migration_cost.charge(lazy_pages, self.mode)
-                    self.add_penalty(
-                        app_id, charge.window_cycles,
-                        charge.channel_bw_penalty * sensitivity * overlap,
-                        counts_as_migration=self.mode is not MigrationMode.PPMM,
-                    )
-                state.migrated_bytes += charge.bytes_moved
-                self._charge_global(charge)
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        "migration", "rebalance", time=self._trace_now,
-                        duration=charge.window_cycles, app_id=app_id,
-                        pages=rebalance_pages, mode=self.mode.value,
-                        gained_channels=gained,
-                        bytes_moved=charge.bytes_moved,
-                    )
-
-    def _charge_global(self, charge) -> None:
-        """TRADITIONAL migrations pollute the NoC/LLC for everyone."""
-        if charge.global_penalty > 0:
-            for other_id in self.apps:
-                self.add_penalty(
-                    other_id, charge.window_cycles, charge.global_penalty
-                )

@@ -7,6 +7,15 @@ process boundary the job lands.  Every factory is a module-level callable
 identical in the parent and in ``ProcessPoolExecutor`` workers — nothing
 unpicklable ever travels with a job.
 
+Factories *compose*: each one builds a
+:class:`~repro.core.system.MultitaskSystem` runner around the matching
+:mod:`repro.policies` policy object, splitting the keyword arguments
+between the two (runner keywords — ``config``, ``epoch_cycles``,
+``arrivals``, ... — go to the runner; everything else to the policy).
+The deprecated subclass spellings (``UGPUSystem`` and friends) are still
+recognized by :func:`policy_name_of` so pre-refactor callers that pass
+the classes themselves keep sweeping through the executor.
+
 Names are case-insensitive; the canonical spellings are the lowercase CLI
 names (``bp``, ``ugpu-offline``, ...) with the benchmark-suite spellings
 (``BP``, ``CD``, ``UGPU-offline``, ...) registered as aliases.
@@ -16,21 +25,52 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baselines import (
-    BPBigSmallSystem,
-    BPSmallBigSystem,
-    BPSystem,
-    CDSearchSystem,
-    MPSSystem,
-)
-from repro.core.ugpu import UGPUSystem
+from repro.core.system import MultitaskSystem
 from repro.errors import ConfigError
 from repro.pagemove import MigrationMode
+from repro.policies import (
+    BPBigSmallPolicy,
+    BPPolicy,
+    BPSmallBigPolicy,
+    CDSearchPolicy,
+    MPSPolicy,
+    UGPUPolicy,
+)
 
 PolicyFactory = Callable[..., object]
 
 _REGISTRY: Dict[str, PolicyFactory] = {}
 _ALIASES: Dict[str, str] = {}
+
+#: Keyword arguments owned by the runner; everything else a factory
+#: receives is forwarded to the policy constructor.
+RUNNER_KWARGS = frozenset(
+    {
+        "config",
+        "epoch_cycles",
+        "energy_model",
+        "total_memory_bytes",
+        "tracer",
+        "arrivals",
+        "max_slots",
+    }
+)
+
+
+def compose_system(policy_factory: Callable[..., object], applications,
+                   **kwargs) -> MultitaskSystem:
+    """Build a runner around ``policy_factory(**policy_kwargs)``.
+
+    Splits ``kwargs`` between the runner (:data:`RUNNER_KWARGS`) and the
+    policy constructor, so one factory signature serves both layers.
+    """
+    runner_kw = {}
+    policy_kw = {}
+    for key, value in kwargs.items():
+        (runner_kw if key in RUNNER_KWARGS else policy_kw)[key] = value
+    return MultitaskSystem(
+        applications, policy=policy_factory(**policy_kw), **runner_kw
+    )
 
 
 def canonical_policy_name(name: str) -> str:
@@ -71,13 +111,38 @@ def policy_name_of(factory: PolicyFactory) -> Optional[str]:
     """Reverse lookup: the canonical name of a registered factory, or None.
 
     Lets the sweep layer accept the registered callables themselves
-    (``compare_policies({"BP": BPSystem, ...})``) and still hand the work
-    to the process pool by name.
+    (``compare_policies({"BP": bp, ...})``) and still hand the work to
+    the process pool by name.  The deprecated subclass spellings map to
+    their composed replacements, so ``policy_name_of(BPSystem) == "bp"``
+    keeps holding while the shims exist.
     """
     for key, registered in _REGISTRY.items():
         if registered is factory:
             return key
-    return None
+    return _legacy_factories().get(factory)
+
+
+def _legacy_factories() -> Dict[PolicyFactory, str]:
+    # Imported lazily: the shim modules are on their way out and pulling
+    # them in at registry-import time would keep the deprecated classes
+    # resident even for callers that never touch them.
+    from repro.baselines import (
+        BPBigSmallSystem,
+        BPSmallBigSystem,
+        BPSystem,
+        CDSearchSystem,
+        MPSSystem,
+    )
+    from repro.core.ugpu import UGPUSystem
+
+    return {
+        BPSystem: "bp",
+        BPBigSmallSystem: "bp-bs",
+        BPSmallBigSystem: "bp-sb",
+        MPSSystem: "mps",
+        CDSearchSystem: "cd-search",
+        UGPUSystem: "ugpu",
+    }
 
 
 def registered_policies() -> List[str]:
@@ -85,24 +150,50 @@ def registered_policies() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def bp(apps, **kwargs):
+    return compose_system(BPPolicy, apps, **kwargs)
+
+
+def bp_big_small(apps, **kwargs):
+    return compose_system(BPBigSmallPolicy, apps, **kwargs)
+
+
+def bp_small_big(apps, **kwargs):
+    return compose_system(BPSmallBigPolicy, apps, **kwargs)
+
+
+def mps(apps, **kwargs):
+    return compose_system(MPSPolicy, apps, **kwargs)
+
+
+def cd_search(apps, **kwargs):
+    return compose_system(CDSearchPolicy, apps, **kwargs)
+
+
+def ugpu(apps, **kwargs):
+    return compose_system(UGPUPolicy, apps, **kwargs)
+
+
 def ugpu_offline(apps, **kwargs):
-    return UGPUSystem(apps, offline=True, **kwargs)
+    return compose_system(UGPUPolicy, apps, offline=True, **kwargs)
 
 
 def ugpu_software(apps, **kwargs):
-    return UGPUSystem(apps, mode=MigrationMode.SOFTWARE, **kwargs)
+    return compose_system(UGPUPolicy, apps, mode=MigrationMode.SOFTWARE, **kwargs)
 
 
 def ugpu_traditional(apps, **kwargs):
-    return UGPUSystem(apps, mode=MigrationMode.TRADITIONAL, **kwargs)
+    return compose_system(
+        UGPUPolicy, apps, mode=MigrationMode.TRADITIONAL, **kwargs
+    )
 
 
-register_policy("bp", BPSystem)
-register_policy("bp-bs", BPBigSmallSystem)
-register_policy("bp-sb", BPSmallBigSystem)
-register_policy("mps", MPSSystem)
-register_policy("cd-search", CDSearchSystem, aliases=("cd",))
-register_policy("ugpu", UGPUSystem)
+register_policy("bp", bp)
+register_policy("bp-bs", bp_big_small)
+register_policy("bp-sb", bp_small_big)
+register_policy("mps", mps)
+register_policy("cd-search", cd_search, aliases=("cd",))
+register_policy("ugpu", ugpu)
 register_policy("ugpu-offline", ugpu_offline)
 register_policy("ugpu-soft", ugpu_software, aliases=("ugpu-software",))
 register_policy("ugpu-ori", ugpu_traditional, aliases=("ugpu-traditional",))

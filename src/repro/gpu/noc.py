@@ -11,6 +11,7 @@ the NoC, rather than DRAM, would bound a given demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -27,7 +28,8 @@ class NoCAllocation:
 class CrossbarNoC:
     """Analytic crossbar: per-port channel width, full bisection."""
 
-    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
 

@@ -21,6 +21,7 @@ latency (the compute roofline drops below the bandwidth one).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -73,7 +74,8 @@ class SliceThroughput:
 class PerformanceModel:
     """Evaluate kernels on arbitrary (SMs, channels) slices."""
 
-    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
 

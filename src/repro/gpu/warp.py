@@ -18,6 +18,7 @@ one warp's issue-cycle fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -42,7 +43,7 @@ class WarpTiming:
 class WarpTimingModel:
     """Derive per-SM issue rates from warp-level structure."""
 
-    def __init__(self, config: GPUConfig = GPUConfig(),
+    def __init__(self, config: Optional[GPUConfig] = None,
                  l1_miss_rate: float = 0.6,
                  mlp_per_warp: float = 6.0) -> None:
         """``l1_miss_rate``: fraction of a kernel's memory instructions
@@ -50,6 +51,7 @@ class WarpTimingModel:
         ``mlp_per_warp``: overlapping outstanding misses per warp
         (coalesced GPU loads keep several lines in flight; 128 L1 MSHRs
         over ~20 actively-missing warps gives roughly six)."""
+        config = config if config is not None else GPUConfig()
         config.validate()
         if not 0.0 < l1_miss_rate <= 1.0:
             raise ConfigError("l1_miss_rate must be in (0, 1]")

@@ -6,7 +6,12 @@ the energy model reproduces the aggregate splits of Figure 12b.
 
 from repro.metrics.multiprogram import (
     AppRun,
+    IntervalRun,
     antt,
+    interval_antt,
+    interval_stp,
+    makespan,
+    mean_queueing_delay,
     normalized_progress,
     stp,
     summarize,
@@ -16,8 +21,13 @@ from repro.metrics.fairness import fairness_index, harmonic_mean_np, jains_index
 
 __all__ = [
     "AppRun",
+    "IntervalRun",
     "stp",
     "antt",
+    "interval_stp",
+    "interval_antt",
+    "mean_queueing_delay",
+    "makespan",
     "normalized_progress",
     "summarize",
     "EnergyModel",

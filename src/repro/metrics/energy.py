@@ -18,6 +18,7 @@ lands on the paper's 88.3/11.6 split.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -63,13 +64,14 @@ class EnergyModel:
 
     def __init__(
         self,
-        config: GPUConfig = GPUConfig(),
+        config: Optional[GPUConfig] = None,
         core_static_watts: float = 95.0,
         core_pj_per_instruction: float = 9.0,
         mem_static_watts: float = 18.0,
         mem_pj_per_byte: float = 14.0,
         migration_pj_per_byte: float = 9.0,
     ) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         for name, value in (
             ("core_static_watts", core_static_watts),

@@ -7,12 +7,25 @@ Paper Equations 3 and 4::
 
 ``IPC_i^alone`` is benchmark *i* running alone on the full GPU; ``IPC_i``
 is its IPC during multitasking.
+
+The closed-system forms assume every application shares one horizon.  In
+an *open* system (jobs arrive, queue, and depart) each application is
+resident only for its own interval, so :class:`IntervalRun` carries the
+lifecycle cycles and the interval metrics weight each app by its
+occupancy ``present_cycles / horizon``:
+
+    STP_interval  = sum_i (present_i / horizon) * NP_i
+    ANTT_interval = sum_i present_i * slowdown_i / sum_i present_i
+
+With every app resident for the whole horizon these reduce exactly to
+Equations 3 and 4.  :func:`mean_queueing_delay` and :func:`makespan`
+summarize the scheduling side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import ConfigError
 
@@ -76,3 +89,118 @@ def summarize(runs: Sequence[AppRun]) -> Dict[str, float]:
         "antt": antt(runs),
         "min_np": min(run.normalized_progress for run in runs),
     }
+
+
+# ----------------------------------------------------------------------
+# Open-system interval metrics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntervalRun:
+    """One application's measured progress over its residency interval.
+
+    ``arrival_cycle`` is when the job entered the system,
+    ``admit_cycle`` when it received a slice (the difference is queueing
+    delay), and ``depart_cycle`` when it retired its budget — ``None``
+    for a job still resident at the horizon.  ``instructions`` counts
+    retirement between admission and departure; ``ipc_alone`` is the
+    solo-run rate over the same interval length.
+    """
+
+    app_id: int
+    name: str
+    instructions: int
+    ipc_alone: float
+    arrival_cycle: int = 0
+    admit_cycle: int = 0
+    depart_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ConfigError(f"{self.name}: instructions must be >= 0")
+        if self.ipc_alone <= 0:
+            raise ConfigError(f"{self.name}: ipc_alone must be positive")
+        if self.admit_cycle < self.arrival_cycle:
+            raise ConfigError(
+                f"{self.name}: admitted at {self.admit_cycle} before "
+                f"arriving at {self.arrival_cycle}"
+            )
+        if self.depart_cycle is not None and self.depart_cycle <= self.admit_cycle:
+            raise ConfigError(
+                f"{self.name}: departure {self.depart_cycle} must follow "
+                f"admission {self.admit_cycle}"
+            )
+
+    @property
+    def queueing_delay(self) -> int:
+        """Cycles spent waiting for a free slot."""
+        return self.admit_cycle - self.arrival_cycle
+
+    def end_cycle(self, horizon: int) -> int:
+        return self.depart_cycle if self.depart_cycle is not None else horizon
+
+    def present_cycles(self, horizon: int) -> int:
+        """Cycles the app held a slice (its residency interval)."""
+        return max(0, self.end_cycle(horizon) - self.admit_cycle)
+
+    def ipc(self, horizon: int) -> float:
+        present = self.present_cycles(horizon)
+        if present <= 0:
+            return 0.0
+        return self.instructions / present
+
+    def normalized_progress(self, horizon: int) -> float:
+        return self.ipc(horizon) / self.ipc_alone
+
+    def slowdown(self, horizon: int) -> float:
+        ipc = self.ipc(horizon)
+        if ipc == 0:
+            return float("inf")
+        return self.ipc_alone / ipc
+
+
+def _check_interval_args(runs: Sequence[IntervalRun], horizon: int) -> None:
+    if not runs:
+        raise ConfigError("interval metrics need at least one application run")
+    if horizon <= 0:
+        raise ConfigError("horizon must be positive")
+
+
+def interval_stp(runs: Sequence[IntervalRun], horizon: int) -> float:
+    """Occupancy-weighted STP: each app contributes its NP scaled by the
+    fraction of the horizon it was resident.  Reduces to Equation 3 when
+    every app is resident for the whole horizon."""
+    _check_interval_args(runs, horizon)
+    return sum(
+        run.present_cycles(horizon) / horizon * run.normalized_progress(horizon)
+        for run in runs
+    )
+
+
+def interval_antt(runs: Sequence[IntervalRun], horizon: int) -> float:
+    """Occupancy-weighted mean slowdown.  Reduces to Equation 4 when
+    every app shares the horizon."""
+    _check_interval_args(runs, horizon)
+    total_present = sum(run.present_cycles(horizon) for run in runs)
+    if total_present <= 0:
+        raise ConfigError("no application was ever resident")
+    return (
+        sum(
+            run.present_cycles(horizon) * run.slowdown(horizon)
+            for run in runs
+        )
+        / total_present
+    )
+
+
+def mean_queueing_delay(runs: Sequence[IntervalRun]) -> float:
+    """Average cycles between arrival and admission."""
+    if not runs:
+        raise ConfigError("mean_queueing_delay needs at least one run")
+    return sum(run.queueing_delay for run in runs) / len(runs)
+
+
+def makespan(runs: Sequence[IntervalRun], horizon: int) -> int:
+    """Cycle by which every submitted job has departed (the horizon for
+    jobs still resident)."""
+    _check_interval_args(runs, horizon)
+    return max(run.end_cycle(horizon) for run in runs)

@@ -1,0 +1,82 @@
+"""Balanced-partitioning policies (paper Section 2 and 6).
+
+* **BP** — equal balanced partitions (NVIDIA MIG-style), static.
+* **BP-BS** — big partition (60 SMs / 24 channels) to the first app.
+* **BP-SB** — the mirror image: small first, big second.
+
+All three never repartition at epoch boundaries; in an open system they
+fall back to the base policy's even rebalance on membership changes
+(MIG instances are destroyed and recreated when the tenant set changes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.slices import PartitionState, ResourceAllocation
+from repro.errors import AllocationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Application
+from repro.policies.base import PartitionPolicy
+
+
+def fixed_two_way(config: GPUConfig, applications: Sequence[Application],
+                  big_first: bool) -> PartitionState:
+    """The paper's 60/24 + 20/8 split for two applications."""
+    if len(applications) != 2:
+        raise AllocationError(
+            "the big/small BP variants are defined for two applications"
+        )
+    state = PartitionState(
+        total_sms=config.num_sms, total_channels=config.num_channels
+    )
+    big = ResourceAllocation(
+        sms=config.num_sms * 3 // 4, channels=config.num_channels * 3 // 4
+    )
+    small = ResourceAllocation(
+        sms=config.num_sms - big.sms, channels=config.num_channels - big.channels
+    )
+    first, second = (big, small) if big_first else (small, big)
+    state.assign(applications[0].app_id, first)
+    state.assign(applications[1].app_id, second)
+    return state
+
+
+class BPPolicy(PartitionPolicy):
+    """Equal balanced partitions; the paper's primary baseline."""
+
+    policy_name = "BP"
+
+    def __init__(self, qos_big_first: bool = False) -> None:
+        #: QoS-aware BP gives the first (high-priority) app the big
+        #: partition (Section 6.7); plain BP splits evenly.
+        self._qos_big_first = qos_big_first
+
+    def initial_partition(
+        self, applications: Sequence[Application]
+    ) -> PartitionState:
+        if self._qos_big_first and len(applications) == 2:
+            return fixed_two_way(self.runner.config, applications, big_first=True)
+        return super().initial_partition(applications)
+
+
+class BPBigSmallPolicy(PartitionPolicy):
+    """BP-BS: big partition to the first application."""
+
+    policy_name = "BP-BS"
+
+    def initial_partition(
+        self, applications: Sequence[Application]
+    ) -> PartitionState:
+        return fixed_two_way(self.runner.config, applications, big_first=True)
+
+
+class BPSmallBigPolicy(PartitionPolicy):
+    """BP-SB: small partition to the first application."""
+
+    policy_name = "BP-SB"
+
+    def initial_partition(
+        self, applications: Sequence[Application]
+    ) -> PartitionState:
+        return fixed_two_way(self.runner.config, applications, big_first=False)

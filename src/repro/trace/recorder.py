@@ -56,6 +56,9 @@ class TraceCategory(str, enum.Enum):
     CACHE = "cache"          #: result-cache hits and misses
     EVENT = "event"          #: raw discrete-event fires (EventQueue)
     JOB = "job"              #: sweep-executor job start/end
+    ARRIVAL = "arrival"      #: open-system job arrival (enters the queue)
+    ADMISSION = "admission"  #: open-system job admitted to a slice
+    DEPARTURE = "departure"  #: open-system job retired its budget
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

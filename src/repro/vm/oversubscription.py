@@ -23,6 +23,7 @@ kernels).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -44,7 +45,7 @@ class OversubscriptionCharge:
 class FaultOverheadModel:
     """Far-fault cost of running with less memory than the working set."""
 
-    def __init__(self, config: GPUConfig = GPUConfig(),
+    def __init__(self, config: Optional[GPUConfig] = None,
                  page_size: int = 4096,
                  lines_per_page_touch: float = 16.0,
                  concurrent_faults: float = 16.0) -> None:
@@ -52,6 +53,7 @@ class FaultOverheadModel:
         (streaming kernels use most of a 4 KB page: 32 lines; irregular
         ones fewer).  ``concurrent_faults``: faults the driver overlaps
         (batched handling hides part of the 20 us latency)."""
+        config = config if config is not None else GPUConfig()
         config.validate()
         if page_size <= 0 or lines_per_page_touch <= 0 or concurrent_faults <= 0:
             raise ConfigError("oversubscription parameters must be positive")

@@ -27,6 +27,11 @@ from repro.workloads.mixes import (
     heterogeneous_pairs,
     homogeneous_pairs,
 )
+from repro.workloads.arrivals import (
+    ArrivalEvent,
+    ArrivalSchedule,
+    poisson_arrivals,
+)
 from repro.workloads.characterize import TraceCharacterizer, TraceProfile
 from repro.workloads.synthetic import (
     hotset_trace,
@@ -52,6 +57,9 @@ __all__ = [
     "build_mix",
     "four_program_mixes",
     "eight_program_mixes",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "poisson_arrivals",
     "streaming_trace",
     "strided_trace",
     "hotset_trace",

@@ -1,0 +1,148 @@
+"""Job arrival schedules for open-system simulation.
+
+The paper's evaluation is a closed system (a fixed mix over a 25M-cycle
+horizon); the online schedulers we compare against (fragmentation-aware
+MIG placement, MIG management for throughput/energy) evaluate under *job
+arrival/departure dynamics*.  An :class:`ArrivalSchedule` is the explicit
+form — ``(cycle, Application, instruction budget)`` events — and
+:func:`poisson_arrivals` generates one from the Table 2 catalog with the
+repo's deterministic LCG, so a seeded trace is bit-reproducible.
+
+An application *departs* when it retires its instruction budget; a
+``None`` budget means the job runs until the horizon (a resident
+service, like the initial mix of a closed system).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.kernel import Application
+from repro.workloads.benchmarks import TABLE2, build_application
+from repro.workloads.synthetic import _lcg
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One job arriving at ``cycle``.
+
+    ``budget_instructions`` is the retirement target that triggers
+    departure; ``None`` keeps the job resident until the horizon.
+    """
+
+    cycle: int
+    app: Application
+    budget_instructions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ConfigError(f"arrival cycle must be >= 0, got {self.cycle}")
+        if self.budget_instructions is not None and self.budget_instructions <= 0:
+            raise ConfigError(
+                f"budget_instructions must be positive, got "
+                f"{self.budget_instructions}"
+            )
+
+
+class ArrivalSchedule:
+    """An ordered, validated sequence of :class:`ArrivalEvent`.
+
+    Events sort by cycle (stable, so same-cycle arrivals keep insertion
+    order — they queue in submission order).  App ids must be unique
+    within the schedule: the runner keys its state tables by app id.
+    """
+
+    def __init__(self, events: Iterable[ArrivalEvent] = ()) -> None:
+        ordered = sorted(events, key=lambda e: e.cycle)
+        seen = set()
+        for event in ordered:
+            if event.app.app_id in seen:
+                raise ConfigError(
+                    f"duplicate app_id {event.app.app_id} in arrival schedule"
+                )
+            seen.add(event.app.app_id)
+        self.events: Tuple[ArrivalEvent, ...] = tuple(ordered)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, Application]],
+        budget_instructions: Optional[int] = None,
+    ) -> "ArrivalSchedule":
+        """Build from explicit ``(cycle, Application)`` pairs, all sharing
+        one budget (or none)."""
+        return cls(
+            ArrivalEvent(cycle, app, budget_instructions)
+            for cycle, app in pairs
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def last_cycle(self) -> int:
+        return self.events[-1].cycle if self.events else 0
+
+
+def poisson_arrivals(
+    mean_interarrival_cycles: float,
+    horizon_cycles: int,
+    seed: int = 0,
+    catalog: Optional[Sequence[str]] = None,
+    first_app_id: int = 100,
+    budget_instructions: Optional[int] = None,
+    instructions_per_kernel: int = 2_000_000_000,
+) -> ArrivalSchedule:
+    """A seeded Poisson arrival process over the benchmark catalog.
+
+    Inter-arrival times are exponential with the given mean (the inverse
+    transform of the LCG's uniform output); each arrival draws a
+    benchmark uniformly from ``catalog`` (default: all 15 Table 2
+    abbreviations, sorted).  App ids count up from ``first_app_id`` so a
+    schedule composes with an initial closed mix whose ids start at 0.
+
+    ``budget_instructions`` defaults to one full launch of the drawn
+    application (every kernel once), so jobs genuinely depart.
+    """
+    if mean_interarrival_cycles <= 0:
+        raise ConfigError("mean_interarrival_cycles must be positive")
+    if horizon_cycles <= 0:
+        raise ConfigError("horizon_cycles must be positive")
+    pool: List[str] = (
+        sorted(catalog) if catalog else sorted(spec.abbr for spec in TABLE2)
+    )
+    if not pool:
+        raise ConfigError("catalog cannot be empty")
+    rng = _lcg(seed)
+    events: List[ArrivalEvent] = []
+    t = 0.0
+    index = 0
+    while True:
+        # (0, 1) uniform from the 32-bit LCG state; +1 keeps it off zero.
+        u = (next(rng) + 1) / 4294967297.0
+        t += -math.log(1.0 - u) * mean_interarrival_cycles
+        if t >= horizon_cycles:
+            break
+        abbr = pool[next(rng) % len(pool)]
+        app = build_application(
+            abbr,
+            app_id=first_app_id + index,
+            instructions_per_kernel=instructions_per_kernel,
+        )
+        budget = (
+            budget_instructions
+            if budget_instructions is not None
+            else app.instructions_per_launch
+        )
+        events.append(ArrivalEvent(int(t), app, budget))
+        index += 1
+    return ArrivalSchedule(events)

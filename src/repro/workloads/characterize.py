@@ -45,8 +45,9 @@ class TraceProfile:
 class TraceCharacterizer:
     """Turn (address trace, instruction count) into a kernel profile."""
 
-    def __init__(self, config: GPUConfig = GPUConfig(),
+    def __init__(self, config: Optional[GPUConfig] = None,
                  warp_model: Optional[WarpTimingModel] = None) -> None:
+        config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
         self.warp_model = (

@@ -31,8 +31,10 @@ class TestRegistry:
         ]
 
     def test_lookup_is_case_insensitive_with_aliases(self):
-        assert resolve_policy("BP") is BPSystem
-        assert resolve_policy("bp") is BPSystem
+        from repro.exec import registry
+
+        assert resolve_policy("BP") is registry.bp
+        assert resolve_policy("bp") is registry.bp
         assert resolve_policy("CD") is resolve_policy("cd-search")
         assert canonical_policy_name("CD") == "cd-search"
         assert canonical_policy_name("UGPU-offline") == "ugpu-offline"

@@ -65,6 +65,17 @@ from repro.policies import (
     PartitionPolicy,
     UGPUPolicy,
 )
+from repro.telemetry import (
+    CsvSampler,
+    MetricsRegistry,
+    MetricsServer,
+    NullRegistry,
+    collect_provenance,
+    registry_from_trace,
+    to_json,
+    to_prometheus,
+    write_prometheus,
+)
 from repro.trace import (
     TraceCategory,
     TraceEvent,
@@ -187,6 +198,16 @@ __all__ = [
     "stp",
     "antt",
     "EnergyModel",
+    # Telemetry
+    "MetricsRegistry",
+    "NullRegistry",
+    "CsvSampler",
+    "MetricsServer",
+    "collect_provenance",
+    "registry_from_trace",
+    "to_prometheus",
+    "to_json",
+    "write_prometheus",
     # Tracing
     "TraceCategory",
     "TraceEvent",

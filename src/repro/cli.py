@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro qos --target 0.75             # Figure 16 scenario
     python -m repro arrivals --seed 0             # open-system Poisson run
     python -m repro trace --mix PVC,DXTC          # timeline -> JSONL + Perfetto
+    python -m repro metrics trace.jsonl           # trace -> Prometheus metrics
 
 ``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
 fans the independent simulations out over N worker processes, and
@@ -22,6 +23,13 @@ An ``ExecStats`` footer reports jobs run, cache hits and wall-clock.
 writes the timeline as JSONL (``<prefix>.jsonl``) and/or a Chrome-trace
 file (``<prefix>.chrome.json``) that loads in ``chrome://tracing`` and
 Perfetto, then prints the derived summary metrics.
+
+``run``, ``sweep`` and ``arrivals`` accept :mod:`repro.telemetry` flags:
+``--metrics-out`` (Prometheus text exposition), ``--metrics-json``
+(snapshot), ``--metrics-csv`` (per-epoch long-format series — the input
+``examples/live_dashboard.py`` tails) and ``--metrics-port`` (a live
+``/metrics`` scrape endpoint for the duration of the run).  ``metrics``
+derives the same registry offline from a recorded JSONL trace.
 """
 
 from __future__ import annotations
@@ -67,11 +75,74 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the result cache and re-simulate")
 
 
-def _executor_from(args) -> SweepExecutor:
+def _executor_from(args, metrics=None) -> SweepExecutor:
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return SweepExecutor(jobs=args.jobs, cache=cache)
+    return SweepExecutor(jobs=args.jobs, cache=cache, metrics=metrics)
+
+
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the Prometheus text exposition here "
+                             "when the command finishes")
+    parser.add_argument("--metrics-json", default=None, metavar="FILE",
+                        help="write a JSON metrics snapshot here")
+    parser.add_argument("--metrics-csv", default=None, metavar="FILE",
+                        help="sample every metric at each epoch boundary "
+                             "into a long-format CSV")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live /metrics on this port for the "
+                             "duration of the run (0 picks a free port)")
+
+
+def _metrics_session(args, **extra):
+    """Registry plus teardown callable from the ``--metrics-*`` flags.
+
+    Returns ``(None, no-op)`` when no flag is set, so instrumented code
+    paths stay on their ``metrics=None`` fast path.  ``extra`` becomes
+    provenance labels on every export (command, policy, seed, ...).
+    """
+    if not any((args.metrics_out, args.metrics_json, args.metrics_csv,
+                args.metrics_port is not None)):
+        return None, lambda: None
+    from repro.telemetry import (
+        CsvSampler,
+        MetricsRegistry,
+        MetricsServer,
+        stamp,
+        write_json,
+        write_prometheus,
+    )
+
+    registry = MetricsRegistry()
+    stamp(registry, None, **extra)
+    sampler = None
+    if args.metrics_csv:
+        sampler = CsvSampler(args.metrics_csv)
+        sampler.attach(registry)
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsServer(registry, port=args.metrics_port)
+        server.start()
+        print(f"live metrics at {server.url}")
+
+    def finish() -> None:
+        if server is not None:
+            server.close()
+        if sampler is not None:
+            sampler.close()
+            print(f"wrote {sampler.rows_written} epoch samples to "
+                  f"{args.metrics_csv}")
+        if args.metrics_out:
+            count = write_prometheus(registry, args.metrics_out)
+            print(f"wrote {count} metric samples to {args.metrics_out}")
+        if args.metrics_json:
+            families = write_json(registry, args.metrics_json)
+            print(f"wrote {families} metric families to {args.metrics_json}")
+
+    return registry, finish
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -93,12 +164,14 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("--cycles", type=int, default=25_000_000,
                      help="simulation horizon in GPU cycles")
     _add_exec_flags(run)
+    _add_metrics_flags(run)
 
     sweep = sub.add_parser("sweep", help="run the 50 heterogeneous mixes")
     sweep.add_argument("--policies", nargs="+", default=["bp", "ugpu"],
                        choices=registered_policies())
     sweep.add_argument("--cycles", type=int, default=25_000_000)
     _add_exec_flags(sweep)
+    _add_metrics_flags(sweep)
 
     qos = sub.add_parser("qos", help="QoS scenario: high-priority "
                                      "compute-bound app (Figure 16)")
@@ -126,6 +199,7 @@ def _parser() -> argparse.ArgumentParser:
     arrivals.add_argument("--initial", default=None, metavar="MIX",
                           help="comma-separated benchmarks resident at cycle "
                                "0 (default: start empty)")
+    _add_metrics_flags(arrivals)
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
                                          "and export the timeline")
@@ -147,6 +221,23 @@ def _parser() -> argparse.ArgumentParser:
                        help="record only these categories (default: all)")
     trace.add_argument("--clock-ghz", type=float, default=1.0,
                        help="GPU clock for Chrome-trace timestamps")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="derive Prometheus/JSON metrics from a recorded JSONL trace")
+    metrics.add_argument("trace", metavar="TRACE.jsonl",
+                         help="trace file from `repro trace --format jsonl`")
+    metrics.add_argument("--out", default=None, metavar="FILE",
+                         help="write the Prometheus exposition here "
+                              "(default: stdout)")
+    metrics.add_argument("--json", default=None, metavar="FILE",
+                         help="also write a JSON snapshot here")
+    metrics.add_argument("--dropped", type=int, default=0, metavar="N",
+                         help="ring-buffer drop count reported by the "
+                              "recording run (exported as a gauge)")
+    metrics.add_argument("--validate", action="store_true",
+                         help="re-parse the written exposition as a "
+                              "format check")
 
     export = sub.add_parser("export", help="write a figure's data series "
                                            "as CSV (for plotting)")
@@ -170,7 +261,9 @@ def cmd_catalog(_args) -> int:
 def cmd_run(args) -> int:
     abbrs = [a.strip() for a in args.mix.split(",") if a.strip()]
     print(f"mix: {'_'.join(abbrs)}  horizon: {args.cycles:,} cycles\n")
-    executor = _executor_from(args)
+    registry, finish_metrics = _metrics_session(
+        args, command="run", mix="_".join(abbrs))
+    executor = _executor_from(args, metrics=registry)
     jobs = [SweepJob.build(name, abbrs, args.cycles) for name in args.policy]
     results = executor.run(jobs)
     print(f"{'policy':<14} {'STP':>7} {'ANTT':>7} {'min NP':>7}  per-app NP")
@@ -180,6 +273,7 @@ def cmd_run(args) -> int:
         print(f"{name:<14} {result.stp:>7.3f} {result.antt:>7.2f} "
               f"{result.min_np:>7.2f}  {nps}")
     print(f"\n{executor.stats.format()}")
+    finish_metrics()
     return 0
 
 
@@ -187,7 +281,8 @@ def cmd_sweep(args) -> int:
     pairs = heterogeneous_pairs()
     print(f"sweeping {len(pairs)} heterogeneous mixes, "
           f"{args.cycles:,} cycles each\n")
-    executor = _executor_from(args)
+    registry, finish_metrics = _metrics_session(args, command="sweep")
+    executor = _executor_from(args, metrics=registry)
     jobs = [SweepJob.build(name, pair, args.cycles)
             for name in args.policies for pair in pairs]
     results = executor.run(jobs)
@@ -207,6 +302,7 @@ def cmd_sweep(args) -> int:
                 gain = statistics.fmean(stps) / base - 1
                 print(f"\n{name} vs bp: {gain:+.1%}")
     print(f"\n{executor.stats.format()}")
+    finish_metrics()
     return 0
 
 
@@ -257,8 +353,11 @@ def cmd_arrivals(args) -> int:
     print(f"{len(schedule)} arrivals scheduled "
           f"(mean inter-arrival {args.mean_interarrival:,} cycles), "
           f"{len(initial)} jobs resident at cycle 0\n")
+    registry, finish_metrics = _metrics_session(
+        args, command="arrivals", policy=args.policy, seed=str(args.seed))
     factory = resolve_policy(args.policy)
-    system = factory(initial, arrivals=schedule, max_slots=args.max_slots)
+    system = factory(initial, arrivals=schedule, max_slots=args.max_slots,
+                     metrics=registry)
     result = system.run(args.cycles, mix_name=label)
     print(f"{'job':<8} {'arrive':>12} {'admit':>12} {'depart':>12} "
           f"{'wait':>10} {'NP':>6}")
@@ -276,6 +375,7 @@ def cmd_arrivals(args) -> int:
               f"makespan {result.makespan:,} cycles")
     else:
         print("no job was admitted before the horizon")
+    finish_metrics()
     return 0
 
 
@@ -309,7 +409,37 @@ def cmd_trace(args) -> int:
     if recorder.dropped:
         print(f"note: ring buffer dropped {recorder.dropped} oldest events "
               f"(--capacity {args.capacity})")
-    print(f"\n{summarize(events).format()}")
+    print(f"\n{summarize(events, dropped_events=recorder.dropped).format()}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Fold a recorded trace into a registry and export it (offline bridge)."""
+    from repro.telemetry import (
+        registry_from_trace,
+        stamp,
+        to_prometheus,
+        validate_prometheus_file,
+        write_json,
+        write_prometheus,
+    )
+    from repro.trace import read_jsonl
+
+    events = read_jsonl(args.trace)
+    registry = registry_from_trace(events, dropped_events=args.dropped)
+    stamp(registry, None, source=os.path.basename(args.trace))
+    if args.out:
+        count = write_prometheus(registry, args.out)
+        print(f"folded {len(events)} events into {count} metric samples "
+              f"at {args.out}")
+        if args.validate:
+            validate_prometheus_file(args.out)
+            print(f"{args.out}: exposition format OK")
+    else:
+        sys.stdout.write(to_prometheus(registry))
+    if args.json:
+        families = write_json(registry, args.json)
+        print(f"wrote {families} metric families to {args.json}")
     return 0
 
 
@@ -365,6 +495,7 @@ def main(argv: Sequence[str] = None) -> int:
         "qos": cmd_qos,
         "arrivals": cmd_arrivals,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
         "export": cmd_export,
     }
     return handlers[args.command](args)

@@ -71,7 +71,10 @@ class ClusterScheduler:
     """Place tenant jobs on a pool of GPU nodes and run them."""
 
     def __init__(self, num_nodes: int, config: Optional[GPUConfig] = None,
-                 tenants_per_node: int = 2) -> None:
+                 tenants_per_node: int = 2, metrics=None) -> None:
+        """``metrics`` (a telemetry registry) counts placement outcomes
+        and gauges per-node fragmentation (free slots / capacity) and
+        resident tenants after every admit/depart."""
         if num_nodes <= 0:
             raise AllocationError("need at least one node")
         config = config if config is not None else GPUConfig()
@@ -81,6 +84,22 @@ class ClusterScheduler:
             for i in range(num_nodes)
         ]
         self.perf = PerformanceModel(config)
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            self._m_placements = _names.cluster_placements_total(metrics)
+            self._m_fragmentation = _names.cluster_node_fragmentation(metrics)
+            self._m_tenants = _names.cluster_node_tenants(metrics)
+            self._update_node_gauges()
+
+    def _update_node_gauges(self) -> None:
+        for node in self.nodes:
+            label = str(node.node_id)
+            self._m_fragmentation.labels(node=label).set(
+                node.free_slots / node.max_tenants
+            )
+            self._m_tenants.labels(node=label).set(len(node.tenants))
 
     @property
     def capacity(self) -> int:
@@ -117,6 +136,7 @@ class ClusterScheduler:
             # Class-blind: spread tenants breadth-first for load fairness.
             for job in jobs:
                 self._emptiest_node().place(job)
+                self._note_placement()
             return
         # Demand-aware: interleave the two classes and fill each node
         # completely before the next, so every node receives a
@@ -131,6 +151,12 @@ class ClusterScheduler:
                 ordered.append(compute.pop(0))
         for job in ordered:
             self._first_open_node().place(job)
+            self._note_placement()
+
+    def _note_placement(self, outcome: str = "placed") -> None:
+        if self.metrics is not None:
+            self._m_placements.labels(outcome=outcome).inc()
+            self._update_node_gauges()
 
     def _emptiest_node(self) -> GPUNode:
         target = min(self.nodes, key=lambda n: (len(n.tenants), n.node_id))
@@ -159,6 +185,7 @@ class ClusterScheduler:
         """
         open_nodes = [n for n in self.nodes if n.free_slots > 0]
         if not open_nodes:
+            self._note_placement(outcome="rejected")
             raise AllocationError("cluster is full: no free slot for arrival")
         job_mb = self._is_memory_bound(job)
         target = min(
@@ -170,6 +197,7 @@ class ClusterScheduler:
             ),
         )
         target.place(job)
+        self._note_placement()
         return target
 
     def _complements(self, node: GPUNode, job_is_memory_bound: bool) -> bool:
@@ -186,6 +214,8 @@ class ClusterScheduler:
         for node in self.nodes:
             if any(t.app_id == app_id for t in node.tenants):
                 node.remove(app_id)
+                if self.metrics is not None:
+                    self._update_node_gauges()
                 return node
         raise AllocationError(f"app {app_id} is not resident in the cluster")
 

@@ -170,6 +170,9 @@ class OpenSystemResult:
     arrivals: int = 0
     admissions: int = 0
     departures: int = 0
+    #: Attribution snapshot (git SHA, versions, config hash) — see
+    #: :mod:`repro.telemetry.provenance`.
+    provenance: Dict[str, str] = field(default_factory=dict)
 
     @property
     def stp(self) -> float:
@@ -221,6 +224,7 @@ class MultitaskSystem:
         policy=None,
         arrivals: Optional[ArrivalSchedule] = None,
         max_slots: Optional[int] = None,
+        metrics=None,
     ) -> None:
         """``total_memory_bytes`` enables memory-oversubscription modelling
         (paper Sections 3.2 and 5): each slice's capacity is proportional
@@ -236,7 +240,14 @@ class MultitaskSystem:
         ``policy`` is the composed :class:`PartitionPolicy` (default: the
         even static baseline).  ``arrivals`` switches the runner into
         open-system mode; ``max_slots`` caps concurrent residency
-        (default: how many minimum slices the GPU can host)."""
+        (default: how many minimum slices the GPU can host).
+
+        ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) receives
+        the aggregate counterpart of the trace stream: epoch counters and
+        duration histogram, migration-stall cycles, and — in open runs —
+        arrival/admission/departure counters, the queueing-delay
+        histogram and queue-depth gauges.  Like ``tracer``, it defaults
+        to ``None`` and costs nothing when absent."""
         if policy is None:
             from repro.policies.base import PartitionPolicy
 
@@ -260,6 +271,25 @@ class MultitaskSystem:
             FaultOverheadModel(config) if total_memory_bytes is not None else None
         )
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            # Resolve children once; the per-epoch hot path then touches
+            # plain objects (or no-ops, under a NullRegistry).
+            from repro.telemetry import names as _names
+
+            self._m_epochs = _names.epochs_total(metrics)
+            self._m_epoch_cycles = _names.epoch_cycles_total(metrics)
+            self._m_epoch_hist = _names.epoch_duration_cycles(metrics)
+            self._m_instructions = _names.instructions_total(metrics)
+            self._m_stall = _names.migration_stall_cycles_total(metrics)
+            self._m_arrivals = _names.open_arrivals_total(metrics)
+            self._m_admissions = _names.open_admissions_total(metrics)
+            self._m_departures = _names.open_departures_total(metrics)
+            self._m_queue_delay = _names.open_queueing_delay_cycles(metrics)
+            self._m_wait_depth = _names.open_wait_queue_depth(metrics)
+            self._m_resident = _names.open_resident_jobs(metrics)
+            self._m_stp = _names.policy_stp(metrics)
+            self._m_antt = _names.policy_antt(metrics)
         #: Cycle stamp for trace records emitted outside :meth:`_step`
         #: (e.g. QoS enforcement during construction happens at cycle 0).
         self._trace_now = 0
@@ -401,6 +431,13 @@ class MultitaskSystem:
                 migration_cycles=result.migration_cycles,
                 repartitioned=result.repartitioned,
             )
+        if self.metrics is not None:
+            self._m_epochs.inc()
+            self._m_epoch_cycles.inc(span)
+            self._m_epoch_hist.observe(span)
+            self._m_instructions.inc(sum(instructions.values()))
+            self._m_stall.inc(result.migration_cycles)
+            self.metrics.epoch_boundary(epoch_index, result.end_cycle)
         return result
 
     # ------------------------------------------------------------------
@@ -421,6 +458,8 @@ class MultitaskSystem:
                     app_id=app_id, instructions=state.instructions,
                     resident_cycles=now - state.admit_cycle,
                 )
+            if self.metrics is not None:
+                self._m_departures.inc()
             self.policy.on_app_departure(state)
         while self._pending and self._pending[0].cycle <= now:
             event = self._pending.pop(0)
@@ -431,6 +470,8 @@ class MultitaskSystem:
                     "arrival", event.app.name, time=event.cycle,
                     app_id=event.app.app_id,
                 )
+            if self.metrics is not None:
+                self._m_arrivals.inc()
         while self._wait_queue and len(self.apps) < self.max_slots:
             event = self._wait_queue.pop(0)
             state = AppState(
@@ -449,7 +490,13 @@ class MultitaskSystem:
                     app_id=event.app.app_id,
                     queueing_delay=now - event.cycle,
                 )
+            if self.metrics is not None:
+                self._m_admissions.inc()
+                self._m_queue_delay.observe(now - event.cycle)
             self.policy.on_app_arrival(state)
+        if self.metrics is not None:
+            self._m_wait_depth.set(len(self._wait_queue))
+            self._m_resident.set(len(self.apps))
 
     def _drained(self, _result: EpochResult) -> bool:
         """Early exit for open runs: nothing resident, queued or pending."""
@@ -480,7 +527,7 @@ class MultitaskSystem:
                     ipc_alone=alone[state.app_id],
                 )
             )
-        return SystemResult(
+        result = SystemResult(
             policy=self.policy_name,
             mix_name=mix_name or "_".join(s.app.name for s in self.apps.values()),
             runs=runs,
@@ -489,6 +536,8 @@ class MultitaskSystem:
             energy=self._energy(total_cycles, self.apps.values()),
             repartitions=self.repartitions,
         )
+        self._finish_metrics(result)
+        return result
 
     def _run_open(self, total_cycles: int,
                   mix_name: Optional[str]) -> OpenSystemResult:
@@ -515,7 +564,9 @@ class MultitaskSystem:
                 )
             )
         all_states = list(self._admitted_order)
-        return OpenSystemResult(
+        from repro.telemetry.provenance import collect_provenance
+
+        result = OpenSystemResult(
             policy=self.policy_name,
             mix_name=mix_name or "open",
             runs=runs,
@@ -526,7 +577,26 @@ class MultitaskSystem:
             arrivals=self.arrivals_seen,
             admissions=self.admissions,
             departures=self.departures,
+            provenance=collect_provenance(
+                self.config, policy=self.policy_name
+            ),
         )
+        self._finish_metrics(result)
+        return result
+
+    def _finish_metrics(self, result) -> None:
+        """End-of-run summary gauges (per-policy STP/ANTT, trace drops)."""
+        if self.metrics is None:
+            return
+        dropped = getattr(self.tracer, "dropped", None)
+        if dropped is not None:
+            from repro.telemetry import names as _names
+
+            _names.trace_dropped_events(self.metrics).set(dropped)
+        if not result.runs:
+            return
+        self._m_stp.labels(policy=self.policy_name).set(result.stp)
+        self._m_antt.labels(policy=self.policy_name).set(result.antt)
 
     def _energy(self, total_cycles: int,
                 states) -> Optional[EnergyBreakdown]:

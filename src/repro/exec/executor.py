@@ -35,16 +35,23 @@ class SweepExecutor:
     """Run sweep jobs over ``jobs`` worker processes with memoization."""
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 tracer=None) -> None:
+                 tracer=None, metrics=None) -> None:
         """``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
         ``cache`` hit/miss record per job plus one ``job`` span per
         executed job.  Exec-layer timestamps/durations are wall-clock
-        seconds relative to :meth:`run` entry, not GPU cycles."""
+        seconds relative to :meth:`run` entry, not GPU cycles.
+
+        ``metrics`` (a telemetry registry) receives each run's
+        :class:`ExecStats` — job/cache counters plus the per-job seconds
+        histogram — via :func:`repro.telemetry.fold_exec_stats`.  Metrics
+        stay executor-level: registries never enter job kwargs, which
+        must remain picklable and fingerprint-stable."""
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.tracer = tracer
+        self.metrics = metrics
         self.stats = ExecStats(workers=jobs)
         self.last_stats = ExecStats(workers=jobs)
 
@@ -101,6 +108,10 @@ class SweepExecutor:
         stats.wall_seconds = time.perf_counter() - start
         self.last_stats = stats
         self.stats.merge(stats)
+        if self.metrics is not None:
+            from repro.telemetry.bridge import fold_exec_stats
+
+            fold_exec_stats(self.metrics, stats)
         return results  # type: ignore[return-value]
 
     def _trace_job(self, job: SweepJob, seconds: float, start: float) -> None:

@@ -53,6 +53,7 @@ RUNNER_KWARGS = frozenset(
         "tracer",
         "arrivals",
         "max_slots",
+        "metrics",
     }
 )
 

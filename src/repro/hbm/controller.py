@@ -88,12 +88,16 @@ class MemoryController:
                  refresh_enabled: bool = False,
                  write_buffer_entries: int = 0,
                  write_high_watermark: float = 0.75,
-                 write_low_watermark: float = 0.25) -> None:
+                 write_low_watermark: float = 0.25,
+                 metrics=None) -> None:
         """``refresh_enabled`` turns on all-bank refresh: every tREFI the
         controller closes all rows and blocks the channel for tRFC (off by
         default — the short command-level experiments rarely span a
         refresh interval, but long replays can enable it).
-        ``write_buffer_entries`` > 0 enables write buffering."""
+        ``write_buffer_entries`` > 0 enables write buffering.
+        ``metrics`` (a telemetry registry) counts per-channel serviced
+        commands and row-buffer outcomes, and gauges achieved/peak
+        bandwidth utilization after each :meth:`drain`."""
         config.validate()
         if write_buffer_entries < 0:
             raise ProtocolError("write_buffer_entries must be non-negative")
@@ -112,6 +116,21 @@ class MemoryController:
         self.write_low_watermark = write_low_watermark
         self.write_buffer: List[MemoryRequest] = []
         self.write_bursts = 0
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            chan = str(self.channel.index)
+            requests = _names.hbm_requests_total(metrics)
+            outcomes = _names.hbm_row_outcomes_total(metrics)
+            self._m_reads = requests.labels(channel=chan, kind="read")
+            self._m_writes = requests.labels(channel=chan, kind="write")
+            self._m_hits = outcomes.labels(channel=chan, outcome="hit")
+            self._m_misses = outcomes.labels(channel=chan, outcome="miss")
+            self._m_conflicts = outcomes.labels(channel=chan, outcome="conflict")
+            self._m_bw = _names.hbm_bandwidth_utilization(metrics).labels(
+                channel=chan
+            )
 
     @property
     def queue_free_slots(self) -> int:
@@ -187,14 +206,20 @@ class MemoryController:
         bank = self.channel.groups[request.bank_group].bank(request.bank)
         if bank.is_row_open(request.row):
             self.stats.row_hits += 1
+            if self.metrics is not None:
+                self._m_hits.inc()
         elif bank.open_row is None:
             self.stats.row_misses += 1
+            if self.metrics is not None:
+                self._m_misses.inc()
             cmd = activate(request.bank_group, request.bank, request.row)
             at = self.channel.earliest_issue(cmd, self.now)
             self.channel.issue(cmd, at)
             self.now = at
         else:
             self.stats.row_conflicts += 1
+            if self.metrics is not None:
+                self._m_conflicts.inc()
             pre = precharge(request.bank_group, request.bank)
             at = self.channel.earliest_issue(pre, self.now)
             self.channel.issue(pre, at)
@@ -215,6 +240,11 @@ class MemoryController:
         self.stats.served += 1
         self.stats.total_latency += done - request.arrival
         self.stats.bytes_moved += self.config.column_bytes
+        if self.metrics is not None:
+            if request.kind is RequestKind.READ:
+                self._m_reads.inc()
+            else:
+                self._m_writes.inc()
         return request
 
     def _maybe_refresh(self) -> None:
@@ -248,6 +278,11 @@ class MemoryController:
             self._drain_writes(down_to=0)
             completed.extend(writes)
         completed.sort(key=lambda r: r.completed_at)
+        if self.metrics is not None:
+            peak = self.config.channel_bandwidth_gbps
+            self._m_bw.set(
+                self.achieved_bandwidth_gbps() / peak if peak > 0 else 0.0
+            )
         return completed
 
     def achieved_bandwidth_gbps(self) -> float:

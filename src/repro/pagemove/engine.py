@@ -102,9 +102,17 @@ class MigrationEngine:
         registry: Optional[ChannelStatusRegister] = None,
         mode: MigrationMode = MigrationMode.PPMM,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.driver = driver
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            self._m_pages = _names.pagemove_pages_total(metrics)
+            self._m_commands = _names.pagemove_commands_total(metrics)
+            self._m_window = _names.pagemove_window_cycles_total(metrics)
         self.mapping = mapping if mapping is not None else PageMoveAddressMapping()
         self.cost_model = (
             cost_model if cost_model is not None else MigrationCostModel(mapping=self.mapping)
@@ -258,6 +266,10 @@ class MigrationEngine:
                 eager_cycles=report.eager_charge.window_cycles,
                 lazy_cycles=report.lazy_charge.window_cycles,
             )
+        if self.metrics is not None:
+            self._m_pages.labels(kind="eager").inc(len(plan.eager))
+            self._m_pages.labels(kind="lazy").inc(len(lazy_moves))
+            self._m_window.inc(report.window_cycles)
         return report
 
     def _check_capacity(self, plan: MigrationPlan, include_lazy: bool) -> None:
@@ -315,6 +327,7 @@ class MigrationEngine:
             raise MigrationError("destination channel equals source channel")
         cfg = system.config
         done = now
+        commands_issued = 0
         for stack_idx, stack in enumerate(system.stacks):
             src_ch = stack.channel(coords.channel)
             dst_ch = stack.channel(dst_channel)
@@ -372,10 +385,13 @@ class MigrationEngine:
                             group_time[group] = stack.issue_migration(
                                 coords.channel, cmd, t
                             )
+                            commands_issued += 1
                             break
                         except ProtocolError:
                             t += cfg.timing.tMIG // 4
                     else:  # pragma: no cover - defensive
                         raise MigrationError("crossbar never freed")
             done = max(done, max(group_time.values()))
+        if self.metrics is not None:
+            self._m_commands.inc(commands_issued)
         return done

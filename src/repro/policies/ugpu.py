@@ -50,6 +50,7 @@ from repro.core.reallocation import SMReallocator
 from repro.core.slices import ResourceAllocation
 from repro.pagemove.cost import MigrationCostModel, MigrationMode
 from repro.policies.base import PartitionPolicy, even_allocations
+from repro.telemetry import names as metric_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import AppState
@@ -224,6 +225,10 @@ class UGPUPolicy(PartitionPolicy):
                     "realloc", "suppress", time=runner._trace_now,
                     epoch=epoch_index, hysteresis=self.hysteresis,
                 )
+            if runner.metrics is not None:
+                metric_names.reallocations_total(runner.metrics).labels(
+                    outcome="suppress"
+                ).inc()
             return
         runner.apply_partition(decision.allocations)
         runner.repartitions += 1
@@ -238,6 +243,10 @@ class UGPUPolicy(PartitionPolicy):
                     for app_id, alloc in decision.allocations.items()
                 },
             )
+        if runner.metrics is not None:
+            metric_names.reallocations_total(runner.metrics).labels(
+                outcome="apply"
+            ).inc()
         self._charge_reallocation(previous, decision, profiles)
 
     def _worth_applying(self, previous, proposed, profiles) -> bool:
@@ -309,6 +318,10 @@ class UGPUPolicy(PartitionPolicy):
                     for app_id, alloc in decision.allocations.items()
                 },
             )
+        if runner.metrics is not None:
+            metric_names.reallocations_total(runner.metrics).labels(
+                outcome="membership"
+            ).inc()
         if self.offline:
             # Offline mode pre-places pages for the partition it knows;
             # a membership change still costs the algorithm latency but
@@ -391,10 +404,10 @@ class UGPUPolicy(PartitionPolicy):
                     break
             if not moved:
                 break
-        if runner.tracer is not None:
-            before_alloc = decision.allocations[target.app_id]
-            after_alloc = allocations[target.app_id]
-            if after_alloc != before_alloc:
+        before_alloc = decision.allocations[target.app_id]
+        after_alloc = allocations[target.app_id]
+        if after_alloc != before_alloc:
+            if runner.tracer is not None:
                 runner.tracer.emit(
                     "qos", "enforce", time=runner._trace_now,
                     app_id=target.app_id,
@@ -403,6 +416,8 @@ class UGPUPolicy(PartitionPolicy):
                     granted_sms=after_alloc.sms - before_alloc.sms,
                     granted_channels=after_alloc.channels - before_alloc.channels,
                 )
+            if runner.metrics is not None:
+                metric_names.qos_interventions_total(runner.metrics).inc()
         decision.allocations = allocations
         return decision
 
@@ -489,6 +504,13 @@ class UGPUPolicy(PartitionPolicy):
                         pages=eager_pages, mode=self.mode.value,
                         lost_channels=lost, bytes_moved=charge.bytes_moved,
                     )
+                if runner.metrics is not None:
+                    metric_names.migration_pages_total(runner.metrics).labels(
+                        phase="eager"
+                    ).inc(eager_pages)
+                    metric_names.migration_window_cycles_total(
+                        runner.metrics
+                    ).labels(phase="eager").inc(charge.window_cycles)
 
             if gained and new.channels > 0:
                 rebalance_pages = min(
@@ -531,6 +553,13 @@ class UGPUPolicy(PartitionPolicy):
                         gained_channels=gained,
                         bytes_moved=charge.bytes_moved,
                     )
+                if runner.metrics is not None:
+                    metric_names.migration_pages_total(runner.metrics).labels(
+                        phase="rebalance"
+                    ).inc(rebalance_pages)
+                    metric_names.migration_window_cycles_total(
+                        runner.metrics
+                    ).labels(phase="rebalance").inc(charge.window_cycles)
 
     def _charge_global(self, charge) -> None:
         """TRADITIONAL migrations pollute the NoC/LLC for everyone."""

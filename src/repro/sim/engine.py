@@ -90,12 +90,20 @@ class EventQueue:
 
     ``tracer``, when given, receives one ``event``-category record per
     fired event (after its action ran), carrying the event's tag and
-    schedule sequence number.
+    schedule sequence number.  ``metrics`` (a telemetry registry)
+    additionally counts fired events and samples the live queue depth.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None, tracer=None) -> None:
+    def __init__(self, clock: Optional[SimClock] = None, tracer=None,
+                 metrics=None) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            self._m_fired = _names.sim_events_fired_total(metrics)
+            self._m_depth = _names.sim_event_queue_depth(metrics)
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._fired = 0
@@ -152,6 +160,9 @@ class EventQueue:
                 "event", event.tag or "event", time=event.time,
                 event_seq=event.seq,
             )
+        if self.metrics is not None:
+            self._m_fired.inc()
+            self._m_depth.set(self._live)
         return event
 
     def run_until(self, time: int) -> int:

@@ -1,0 +1,311 @@
+"""Exposition formats: Prometheus text, JSON snapshot — and a validator.
+
+:func:`to_prometheus` renders a registry in the Prometheus text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one
+``name{labels} value`` sample per line, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum`` / ``_count``.  The registry's
+provenance mapping is emitted as one ``repro_build_info`` gauge whose
+labels carry the run's identity (the Prometheus "info metric" idiom).
+
+:func:`parse_prometheus` is the pure-python format checker the test
+suite and the CI smoke step use: it re-reads an exposition file into
+``{(name, labels): value}``, validating names, label syntax, escaping
+and histogram invariants (bucket monotonicity, ``+Inf`` == ``_count``)
+— strict enough that a file it accepts scrapes cleanly.
+
+:func:`to_json` is the machine-readable snapshot: families with kind,
+help, labeled samples and histogram buckets, plus the provenance block.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    _HistogramChild,
+    _NAME_RE,
+    _LABEL_RE,
+)
+
+PathLike = Union[str, Path]
+
+#: The info-metric carrying run provenance labels.
+BUILD_INFO_METRIC = "repro_build_info"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: List[str] = []
+    if registry.provenance:
+        lines.append(
+            f"# HELP {BUILD_INFO_METRIC} Run provenance "
+            "(constant 1; identity lives in the labels)."
+        )
+        lines.append(f"# TYPE {BUILD_INFO_METRIC} gauge")
+        pairs = sorted(registry.provenance.items())
+        lines.append(f"{BUILD_INFO_METRIC}{_format_labels(pairs)} 1")
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.samples():
+            pairs = list(zip(family.label_names, label_values))
+            if isinstance(child, _HistogramChild):
+                for bound, cumulative in child.cumulative():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    bucket_pairs = pairs + [("le", le)]
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_pairs)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(pairs)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(pairs)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(pairs)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: PathLike) -> int:
+    """Write the text exposition; returns the number of sample lines."""
+    text = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation (the pure-python format checker)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str, where: str) -> float:
+    token = text.strip()
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ConfigError(f"{where}: unparsable sample value {text!r}") from None
+
+
+def _parse_labels(raw: str, where: str) -> Tuple[Tuple[str, str], ...]:
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            raise ConfigError(f"{where}: malformed label set {{{raw}}}")
+        pairs.append(
+            (match.group("name"), _unescape_label_value(match.group("value")))
+        )
+        pos = match.end()
+    names = [n for n, _ in pairs]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"{where}: duplicate label in {{{raw}}}")
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse (and validate) a text exposition.
+
+    Returns ``{"samples": {(name, labels): value}, "types": {name: kind},
+    "helps": {name: text}}`` where ``labels`` is a sorted tuple of
+    ``(label, value)`` pairs.  Raises :class:`ConfigError` on any
+    formatting violation, including histogram-invariant breaks.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        where = f"line {line_no}"
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            parts = stripped.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    raise ConfigError(f"{where}: unknown metric type {kind!r}")
+                if not _NAME_RE.match(parts[2]):
+                    raise ConfigError(
+                        f"{where}: invalid metric name {parts[2]!r}"
+                    )
+                if parts[2] in types:
+                    raise ConfigError(
+                        f"{where}: duplicate TYPE for {parts[2]!r}"
+                    )
+                types[parts[2]] = kind
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ConfigError(f"{where}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", where)
+        for label_name, _ in labels:
+            if not _LABEL_RE.match(label_name):
+                raise ConfigError(
+                    f"{where}: invalid label name {label_name!r}"
+                )
+        key = (name, labels)
+        if key in samples:
+            raise ConfigError(
+                f"{where}: duplicate sample {name}{dict(labels)}"
+            )
+        samples[key] = _parse_value(match.group("value"), where)
+    _check_histograms(samples, types)
+    return {"samples": samples, "types": types, "helps": helps}
+
+
+def _check_histograms(samples, types) -> None:
+    """Histogram invariants: buckets cumulative, +Inf present == _count."""
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        for (sample_name, labels), value in samples.items():
+            if sample_name != f"{name}_bucket":
+                continue
+            le = dict(labels).get("le")
+            if le is None:
+                raise ConfigError(f"{name}_bucket sample without le label")
+            rest = tuple(p for p in labels if p[0] != "le")
+            series.setdefault(rest, []).append(
+                (_parse_value(le, f"{name}_bucket le"), value)
+            )
+        for rest, buckets in series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ConfigError(f"{name}: histogram missing +Inf bucket")
+            counts = [c for _, c in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                raise ConfigError(f"{name}: bucket counts not cumulative")
+            count_key = (f"{name}_count", rest)
+            if count_key in samples and samples[count_key] != counts[-1]:
+                raise ConfigError(
+                    f"{name}: +Inf bucket {counts[-1]} != _count "
+                    f"{samples[count_key]}"
+                )
+
+
+def validate_prometheus_file(path: PathLike) -> int:
+    """Parse an exposition file; returns the number of samples."""
+    with open(path, "r", encoding="utf-8") as handle:
+        parsed = parse_prometheus(handle.read())
+    if not parsed["samples"]:
+        raise ConfigError(f"{path}: exposition file contains no samples")
+    return len(parsed["samples"])
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+def to_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-ready snapshot of every family, plus provenance."""
+    families: List[Dict[str, Any]] = []
+    for family in registry.families():
+        entry: Dict[str, Any] = {
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "labels": list(family.label_names),
+            "samples": [],
+        }
+        for label_values, child in family.samples():
+            sample: Dict[str, Any] = {
+                "labels": dict(zip(family.label_names, label_values)),
+            }
+            if isinstance(child, _HistogramChild):
+                sample["buckets"] = [
+                    {"le": "+Inf" if math.isinf(b) else b, "count": c}
+                    for b, c in child.cumulative()
+                ]
+                sample["sum"] = child.sum
+                sample["count"] = child.count
+            else:
+                sample["value"] = child.value
+            entry["samples"].append(sample)
+        families.append(entry)
+    return {"provenance": dict(registry.provenance), "metrics": families}
+
+
+def write_json(registry: MetricsRegistry, path: PathLike) -> int:
+    """Write the JSON snapshot; returns the number of families."""
+    payload = to_json(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(payload["metrics"])

@@ -1,0 +1,324 @@
+"""The canonical metric families every instrumented layer declares.
+
+Instrumentation lives in many modules (`core.system`, `policies.ugpu`,
+`sim.engine`, `vm.driver`, `pagemove.engine`, `hbm.controller`,
+`cluster.scheduler`, `exec.executor`) and the trace bridge
+(:mod:`repro.telemetry.bridge`) must rebuild the *same* series from a
+recorded event stream.  Declaring each family through one factory here —
+name, help text, labels and buckets in a single place — is what makes
+``registry_from_trace()`` equivalence checkable: both sides literally
+call the same constructor.
+
+Registry construction is idempotent, so any number of components may
+call the same factory; mismatched redeclarations raise ``ConfigError``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    CYCLE_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+
+# ---------------------------------------------------------------------- epoch
+EPOCHS_TOTAL = "repro_epochs_total"
+EPOCH_CYCLES_TOTAL = "repro_epoch_cycles_total"
+EPOCH_DURATION_CYCLES = "repro_epoch_duration_cycles"
+INSTRUCTIONS_TOTAL = "repro_instructions_total"
+MIGRATION_STALL_CYCLES_TOTAL = "repro_migration_stall_cycles_total"
+
+
+def epochs_total(reg: MetricsRegistry):
+    return reg.counter(EPOCHS_TOTAL, "Simulated epochs completed.")
+
+
+def epoch_cycles_total(reg: MetricsRegistry):
+    return reg.counter(EPOCH_CYCLES_TOTAL, "Simulated cycles covered by epochs.")
+
+
+def epoch_duration_cycles(reg: MetricsRegistry):
+    return reg.histogram(
+        EPOCH_DURATION_CYCLES,
+        "Per-epoch span in cycles (includes reallocation stretch).",
+        buckets=CYCLE_BUCKETS,
+    )
+
+
+def instructions_total(reg: MetricsRegistry):
+    return reg.counter(INSTRUCTIONS_TOTAL, "Instructions retired across apps.")
+
+
+def migration_stall_cycles_total(reg: MetricsRegistry):
+    return reg.counter(
+        MIGRATION_STALL_CYCLES_TOTAL,
+        "Epoch cycles consumed by reallocation/migration windows.",
+    )
+
+
+# --------------------------------------------------------------------- policy
+REALLOCATIONS_TOTAL = "repro_reallocations_total"
+QOS_INTERVENTIONS_TOTAL = "repro_qos_interventions_total"
+MIGRATION_PAGES_TOTAL = "repro_migration_pages_total"
+MIGRATION_WINDOW_CYCLES_TOTAL = "repro_migration_window_cycles_total"
+POLICY_STP = "repro_policy_stp"
+POLICY_ANTT = "repro_policy_antt"
+
+
+def reallocations_total(reg: MetricsRegistry):
+    return reg.counter(
+        REALLOCATIONS_TOTAL,
+        "Partition decisions by outcome "
+        "(apply, suppress = hysteresis-suppressed, membership).",
+        labels=("outcome",),
+    )
+
+
+def qos_interventions_total(reg: MetricsRegistry):
+    return reg.counter(
+        QOS_INTERVENTIONS_TOTAL, "QoS enforcement interventions (Figure 16)."
+    )
+
+
+def migration_pages_total(reg: MetricsRegistry):
+    return reg.counter(
+        MIGRATION_PAGES_TOTAL,
+        "Pages charged to policy migration windows by phase "
+        "(eager = lost-channel drain, rebalance = gained-channel fill).",
+        labels=("phase",),
+    )
+
+
+def migration_window_cycles_total(reg: MetricsRegistry):
+    return reg.counter(
+        MIGRATION_WINDOW_CYCLES_TOTAL,
+        "Cycles inside policy migration windows by phase.",
+        labels=("phase",),
+    )
+
+
+def policy_stp(reg: MetricsRegistry):
+    return reg.gauge(
+        POLICY_STP, "System throughput (sum of normalized progress).",
+        labels=("policy",),
+    )
+
+
+def policy_antt(reg: MetricsRegistry):
+    return reg.gauge(
+        POLICY_ANTT, "Average normalized turnaround time.", labels=("policy",),
+    )
+
+
+# ---------------------------------------------------------------- open system
+OPEN_ARRIVALS_TOTAL = "repro_open_arrivals_total"
+OPEN_ADMISSIONS_TOTAL = "repro_open_admissions_total"
+OPEN_DEPARTURES_TOTAL = "repro_open_departures_total"
+OPEN_QUEUEING_DELAY_CYCLES = "repro_open_queueing_delay_cycles"
+OPEN_WAIT_QUEUE_DEPTH = "repro_open_wait_queue_depth"
+OPEN_RESIDENT_JOBS = "repro_open_resident_jobs"
+
+
+def open_arrivals_total(reg: MetricsRegistry):
+    return reg.counter(OPEN_ARRIVALS_TOTAL, "Jobs that entered the wait queue.")
+
+
+def open_admissions_total(reg: MetricsRegistry):
+    return reg.counter(OPEN_ADMISSIONS_TOTAL, "Jobs admitted to a slice.")
+
+
+def open_departures_total(reg: MetricsRegistry):
+    return reg.counter(OPEN_DEPARTURES_TOTAL, "Jobs that retired their budget.")
+
+
+def open_queueing_delay_cycles(reg: MetricsRegistry):
+    return reg.histogram(
+        OPEN_QUEUEING_DELAY_CYCLES,
+        "Cycles between arrival and admission.",
+        buckets=CYCLE_BUCKETS,
+    )
+
+
+def open_wait_queue_depth(reg: MetricsRegistry):
+    return reg.gauge(
+        OPEN_WAIT_QUEUE_DEPTH, "Jobs waiting for a slice (sampled at boundaries)."
+    )
+
+
+def open_resident_jobs(reg: MetricsRegistry):
+    return reg.gauge(
+        OPEN_RESIDENT_JOBS, "Jobs resident on the GPU (sampled at boundaries)."
+    )
+
+
+# ----------------------------------------------------------------- sim engine
+SIM_EVENTS_FIRED_TOTAL = "repro_sim_events_fired_total"
+SIM_EVENT_QUEUE_DEPTH = "repro_sim_event_queue_depth"
+
+
+def sim_events_fired_total(reg: MetricsRegistry):
+    return reg.counter(SIM_EVENTS_FIRED_TOTAL, "Discrete events fired.")
+
+
+def sim_event_queue_depth(reg: MetricsRegistry):
+    return reg.gauge(
+        SIM_EVENT_QUEUE_DEPTH, "Live events pending in the queue."
+    )
+
+
+# ------------------------------------------------------------------ vm driver
+VM_FAULTS_TOTAL = "repro_vm_faults_total"
+VM_FAULT_SOFTWARE_CYCLES_TOTAL = "repro_vm_fault_software_cycles_total"
+
+
+def vm_faults_total(reg: MetricsRegistry):
+    return reg.counter(
+        VM_FAULTS_TOTAL,
+        "Driver faults by kind (demand / lost-channel / rebalance).",
+        labels=("kind",),
+    )
+
+
+def vm_fault_software_cycles_total(reg: MetricsRegistry):
+    return reg.counter(
+        VM_FAULT_SOFTWARE_CYCLES_TOTAL,
+        "Software fault-handling cycles charged by the driver.",
+    )
+
+
+# ------------------------------------------------------------ pagemove engine
+PAGEMOVE_PAGES_TOTAL = "repro_pagemove_pages_total"
+PAGEMOVE_COMMANDS_TOTAL = "repro_pagemove_commands_total"
+PAGEMOVE_WINDOW_CYCLES_TOTAL = "repro_pagemove_window_cycles_total"
+
+
+def pagemove_pages_total(reg: MetricsRegistry):
+    return reg.counter(
+        PAGEMOVE_PAGES_TOTAL,
+        "Pages moved by the migration engine by plan kind (eager / lazy).",
+        labels=("kind",),
+    )
+
+
+def pagemove_commands_total(reg: MetricsRegistry):
+    return reg.counter(
+        PAGEMOVE_COMMANDS_TOTAL,
+        "MIGRATION commands issued to HBM controllers.",
+    )
+
+
+def pagemove_window_cycles_total(reg: MetricsRegistry):
+    return reg.counter(
+        PAGEMOVE_WINDOW_CYCLES_TOTAL,
+        "Cycles inside executed migration windows.",
+    )
+
+
+# ------------------------------------------------------------------------ hbm
+HBM_REQUESTS_TOTAL = "repro_hbm_requests_total"
+HBM_ROW_OUTCOMES_TOTAL = "repro_hbm_row_outcomes_total"
+HBM_BANDWIDTH_UTILIZATION = "repro_hbm_bandwidth_utilization"
+
+
+def hbm_requests_total(reg: MetricsRegistry):
+    return reg.counter(
+        HBM_REQUESTS_TOTAL,
+        "Commands serviced per channel by request kind.",
+        labels=("channel", "kind"),
+    )
+
+
+def hbm_row_outcomes_total(reg: MetricsRegistry):
+    return reg.counter(
+        HBM_ROW_OUTCOMES_TOTAL,
+        "Row-buffer outcomes per channel (hit / miss / conflict).",
+        labels=("channel", "outcome"),
+    )
+
+
+def hbm_bandwidth_utilization(reg: MetricsRegistry):
+    return reg.gauge(
+        HBM_BANDWIDTH_UTILIZATION,
+        "Achieved / peak channel bandwidth after the last drain.",
+        labels=("channel",),
+    )
+
+
+# -------------------------------------------------------------------- cluster
+CLUSTER_PLACEMENTS_TOTAL = "repro_cluster_placements_total"
+CLUSTER_NODE_FRAGMENTATION = "repro_cluster_node_fragmentation"
+CLUSTER_NODE_TENANTS = "repro_cluster_node_tenants"
+
+
+def cluster_placements_total(reg: MetricsRegistry):
+    return reg.counter(
+        CLUSTER_PLACEMENTS_TOTAL,
+        "Cluster placement attempts by outcome (placed / rejected).",
+        labels=("outcome",),
+    )
+
+
+def cluster_node_fragmentation(reg: MetricsRegistry):
+    return reg.gauge(
+        CLUSTER_NODE_FRAGMENTATION,
+        "Per-node fragmentation score (free slots / capacity).",
+        labels=("node",),
+    )
+
+
+def cluster_node_tenants(reg: MetricsRegistry):
+    return reg.gauge(
+        CLUSTER_NODE_TENANTS, "Tenants resident per node.", labels=("node",),
+    )
+
+
+# ----------------------------------------------------------------------- exec
+EXEC_JOBS_TOTAL = "repro_exec_jobs_total"
+EXEC_JOBS_RUN_TOTAL = "repro_exec_jobs_run_total"
+EXEC_CACHE_HITS_TOTAL = "repro_exec_cache_hits_total"
+EXEC_CACHE_MISSES_TOTAL = "repro_exec_cache_misses_total"
+EXEC_CACHE_EVICTIONS_TOTAL = "repro_exec_cache_evictions_total"
+EXEC_JOB_SECONDS = "repro_exec_job_seconds"
+EXEC_WALL_SECONDS_TOTAL = "repro_exec_wall_seconds_total"
+
+
+def exec_jobs_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_JOBS_TOTAL, "Sweep jobs requested.")
+
+
+def exec_jobs_run_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_JOBS_RUN_TOTAL, "Sweep jobs actually executed.")
+
+
+def exec_cache_hits_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_CACHE_HITS_TOTAL, "Result-cache hits.")
+
+
+def exec_cache_misses_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_CACHE_MISSES_TOTAL, "Result-cache misses.")
+
+
+def exec_cache_evictions_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_CACHE_EVICTIONS_TOTAL, "Result-cache evictions.")
+
+
+def exec_job_seconds(reg: MetricsRegistry):
+    return reg.histogram(
+        EXEC_JOB_SECONDS, "In-worker seconds per executed job.",
+        buckets=SECONDS_BUCKETS,
+    )
+
+
+def exec_wall_seconds_total(reg: MetricsRegistry):
+    return reg.counter(EXEC_WALL_SECONDS_TOTAL, "End-to-end sweep wall seconds.")
+
+
+# ---------------------------------------------------------------------- trace
+TRACE_DROPPED_EVENTS = "repro_trace_dropped_events"
+
+
+def trace_dropped_events(reg: MetricsRegistry):
+    return reg.gauge(
+        TRACE_DROPPED_EVENTS,
+        "Events evicted from the trace ring buffer (truncation is not silent).",
+    )

@@ -1,0 +1,169 @@
+"""Epoch-boundary CSV time series.
+
+The Prometheus/JSON exporters snapshot a finished run; this module
+captures the *trajectory*.  A :class:`CsvSampler` registers as an epoch
+observer on a :class:`~repro.telemetry.metrics.MetricsRegistry` and, at
+every epoch boundary the runner announces, appends one long-format row
+per live series::
+
+    epoch,cycle,metric,labels,value
+
+Histogram series are flattened to ``<name>_sum`` and ``<name>_count``
+rows (enough to reconstruct a running mean, which is what dashboards
+plot).  Labels are packed as ``key=value`` pairs joined by ``;`` so the
+file stays a plain 5-column CSV.  Provenance is written as ``#``-prefixed
+comment lines ahead of the header; :func:`read_series` skips them, giving
+``examples/live_dashboard.py`` and the tests one shared reader.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.telemetry.metrics import MetricsRegistry, _HistogramChild
+
+PathLike = Union[str, Path]
+
+HEADER = ("epoch", "cycle", "metric", "labels", "value")
+
+
+def format_labels(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    return ";".join(f"{n}={v}" for n, v in zip(names, values))
+
+
+def parse_labels(packed: str) -> Dict[str, str]:
+    if not packed:
+        return {}
+    out: Dict[str, str] = {}
+    for pair in packed.split(";"):
+        name, _, value = pair.partition("=")
+        out[name] = value
+    return out
+
+
+class CsvSampler:
+    """Appends one row per live series at every epoch boundary.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        sampler = CsvSampler("series.csv")
+        sampler.attach(registry)
+        ...  # run the instrumented simulation
+        sampler.close()
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+        self._writer = None
+        self.rows_written = 0
+
+    def attach(self, registry: MetricsRegistry) -> "CsvSampler":
+        self._open(registry)
+        registry.add_epoch_observer(self)
+        return self
+
+    def _open(self, registry: MetricsRegistry) -> None:
+        if self._handle is not None:
+            return
+        self._handle = open(self.path, "w", encoding="utf-8", newline="")
+        for key, value in sorted(registry.provenance.items()):
+            self._handle.write(f"# {key}={value}\n")
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(HEADER)
+
+    def __call__(self, registry: MetricsRegistry, epoch_index: int,
+                 cycle: float) -> None:
+        self._open(registry)
+        rows: List[Tuple] = []
+        for family in registry.families():
+            for label_values, child in family.samples():
+                labels = format_labels(family.label_names, label_values)
+                if isinstance(child, _HistogramChild):
+                    rows.append(
+                        (epoch_index, cycle, f"{family.name}_sum", labels,
+                         child.sum)
+                    )
+                    rows.append(
+                        (epoch_index, cycle, f"{family.name}_count", labels,
+                         child.count)
+                    )
+                else:
+                    rows.append(
+                        (epoch_index, cycle, family.name, labels, child.value)
+                    )
+        self._writer.writerows(rows)
+        self._handle.flush()
+        self.rows_written += len(rows)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+
+class SeriesRow:
+    """One parsed CSV row."""
+
+    __slots__ = ("epoch", "cycle", "metric", "labels", "value")
+
+    def __init__(self, epoch: int, cycle: float, metric: str,
+                 labels: Dict[str, str], value: float) -> None:
+        self.epoch = epoch
+        self.cycle = cycle
+        self.metric = metric
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SeriesRow(epoch={self.epoch}, metric={self.metric!r}, "
+            f"labels={self.labels}, value={self.value})"
+        )
+
+
+def read_series(path: PathLike) -> List[SeriesRow]:
+    """Parse a sampler CSV back into rows (comments/header skipped)."""
+    rows: List[SeriesRow] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(
+            line for line in handle if not line.startswith("#")
+        )
+        for record in reader:
+            if not record or record[0] == "epoch":
+                continue
+            epoch, cycle, metric, labels, value = record
+            rows.append(
+                SeriesRow(int(epoch), float(cycle), metric,
+                          parse_labels(labels), float(value))
+            )
+    return rows
+
+
+def read_provenance(path: PathLike) -> Dict[str, str]:
+    """The ``#``-comment provenance block of a sampler CSV."""
+    out: Dict[str, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                break
+            key, _, value = line[1:].strip().partition("=")
+            out[key.strip()] = value
+    return out
+
+
+def series_values(rows: List[SeriesRow], metric: str,
+                  **labels: str) -> List[Tuple[int, float]]:
+    """``(epoch, value)`` pairs of one metric, filtered by labels."""
+    out: List[Tuple[int, float]] = []
+    for row in rows:
+        if row.metric != metric:
+            continue
+        if any(row.labels.get(k) != str(v) for k, v in labels.items()):
+            continue
+        out.append((row.epoch, row.value))
+    return out

@@ -1,0 +1,84 @@
+"""A stdlib scrape endpoint for live runs.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer` in
+a daemon thread and serves the current Prometheus text exposition of one
+registry at ``GET /metrics`` (and ``/`` as a convenience redirect-free
+alias).  Intended for long `repro arrivals` runs started with
+``--metrics-port``: point a browser, ``curl``, or an actual Prometheus
+scraper at it while the simulation is still going.
+
+Port 0 asks the OS for a free port; the bound port is available as
+:attr:`MetricsServer.port` after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.telemetry.exposition import to_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set by the server factory
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        body = to_prometheus(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes should not spam the simulation's stdout
+
+
+class MetricsServer:
+    """Serve one registry's exposition until :meth:`close`."""
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        handler = type("BoundHandler", (_Handler,), {"registry": registry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.host = host
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -31,6 +31,9 @@ class TraceSummary:
     """Aggregate view of one trace (see :func:`summarize`)."""
 
     total_events: int = 0
+    #: Events the recorder's ring buffer overwrote before export.  A
+    #: non-zero value means every derived rate below undercounts.
+    dropped_events: int = 0
     by_category: Dict[str, int] = field(default_factory=dict)
     epochs: int = 0
     total_cycles: float = 0.0
@@ -51,10 +54,19 @@ class TraceSummary:
 
     @property
     def migration_stall_fraction(self) -> float:
-        """Fraction of simulated cycles inside reallocation windows."""
+        """Fraction of simulated cycles inside reallocation windows,
+        clamped to 1.0 for plotting; check
+        :attr:`migration_stall_fraction_raw` for accounting sanity."""
+        return min(1.0, self.migration_stall_fraction_raw)
+
+    @property
+    def migration_stall_fraction_raw(self) -> float:
+        """The unclamped ratio.  A value above 1.0 means migration
+        windows were charged more cycles than the epochs they sit in —
+        an accounting bug upstream, not a plottable occupancy."""
         if self.total_cycles <= 0:
             return 0.0
-        return min(1.0, self.migration_cycles / self.total_cycles)
+        return self.migration_cycles / self.total_cycles
 
     @property
     def reallocation_cadence_epochs(self) -> Optional[float]:
@@ -74,10 +86,20 @@ class TraceSummary:
                 f"{cat}={n}" for cat, n in sorted(self.by_category.items())
             )
         ]
+        if self.dropped_events:
+            lines.append(
+                f"WARNING: ring buffer dropped {self.dropped_events} oldest "
+                "events; rates below undercount"
+            )
         if self.epochs:
+            raw = self.migration_stall_fraction_raw
+            stall_note = (
+                f" (RAW {raw:.3f} > 1 — migration accounting bug?)"
+                if raw > 1.0 else ""
+            )
             lines.append(
                 f"epochs: {self.epochs} covering {self.total_cycles:,.0f} cycles; "
-                f"migration stall {self.migration_stall_fraction:.1%}"
+                f"migration stall {self.migration_stall_fraction:.1%}{stall_note}"
             )
         if self.faults:
             kinds = " ".join(
@@ -105,9 +127,16 @@ class TraceSummary:
         return "\n".join(lines)
 
 
-def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
-    """Fold ``events`` into a :class:`TraceSummary`."""
-    summary = TraceSummary(total_events=len(events))
+def summarize(events: Sequence[TraceEvent],
+              dropped_events: int = 0) -> TraceSummary:
+    """Fold ``events`` into a :class:`TraceSummary`.
+
+    ``dropped_events`` is the recorder's ring-buffer overwrite count
+    (:attr:`TraceRecorder.dropped`); pass it so the summary can flag
+    that its rates undercount.
+    """
+    summary = TraceSummary(total_events=len(events),
+                           dropped_events=dropped_events)
     for event in events:
         summary.by_category[event.category] = (
             summary.by_category.get(event.category, 0) + 1

@@ -64,7 +64,7 @@ class GPUDriver:
 
     def __init__(self, num_channel_groups: int = 8,
                  pages_per_channel: int = 262_144, mapping=None,
-                 tracer=None) -> None:
+                 tracer=None, metrics=None) -> None:
         """``mapping``, when given, must provide ``channel_of_frame(rpn)``
         and ``frames_of_channel(channel)`` (e.g.
         :class:`repro.pagemove.address_mapping.InterleavedPageMapping`);
@@ -72,7 +72,9 @@ class GPUDriver:
         Figure 8 interleave.
 
         ``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
-        ``fault``-category record per serviced fault, named by kind."""
+        ``fault``-category record per serviced fault, named by kind;
+        ``metrics`` (a telemetry registry) counts faults by kind and
+        accumulates software fault-handling cycles."""
         if mapping is not None:
             num_channel_groups = mapping.num_channel_groups
             pages_per_channel = min(pages_per_channel, mapping.pages_per_channel)
@@ -107,6 +109,12 @@ class GPUDriver:
         self.page_tables: Dict[int, PageTable] = {}
         self.faults: List[PageFault] = []
         self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            self._m_faults = _names.vm_faults_total(metrics)
+            self._m_fault_cycles = _names.vm_fault_software_cycles_total(metrics)
 
     # ------------------------------------------------------------------
     # Application lifecycle
@@ -250,6 +258,9 @@ class GPUDriver:
                 channel=channel, source_channel=source_channel,
                 software_cycles=fault.software_cycles,
             )
+        if self.metrics is not None:
+            self._m_faults.labels(kind=kind.value).inc()
+            self._m_fault_cycles.inc(fault.software_cycles)
         return fault
 
     def is_balanced(self, app_id: int, tolerance: int = 1) -> bool:

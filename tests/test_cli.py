@@ -74,3 +74,85 @@ class TestExport:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["export", "fig99"])
+
+
+class TestMetricsFlags:
+    def test_arrivals_with_metrics_exports(self, tmp_path, capsys):
+        prom = tmp_path / "out.prom"
+        series = tmp_path / "series.csv"
+        snapshot = tmp_path / "out.json"
+        assert main(["arrivals", "--seed", "0", "--cycles", "8000000",
+                     "--metrics-out", str(prom),
+                     "--metrics-csv", str(series),
+                     "--metrics-json", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "metric samples" in out
+
+        from repro.telemetry import (
+            read_series,
+            series_values,
+            validate_prometheus_file,
+        )
+        assert validate_prometheus_file(prom) > 0
+        rows = read_series(series)
+        assert series_values(rows, "repro_epochs_total")
+        assert snapshot.exists()
+
+    def test_csv_series_matches_open_system_result(self, tmp_path, capsys):
+        """Acceptance check: the sampled CSV's final queueing-delay and
+        admission figures equal the returned OpenSystemResult's."""
+        from repro.exec import resolve_policy
+        from repro.telemetry import (
+            CsvSampler,
+            MetricsRegistry,
+            read_series,
+            series_values,
+        )
+        from repro.workloads import poisson_arrivals
+
+        # Arrivals stop at 8M but the run continues to 25M, so every
+        # admitted job executes: result.runs covers all admissions and
+        # the CSV totals must agree exactly.
+        schedule = poisson_arrivals(mean_interarrival_cycles=2_000_000,
+                                    horizon_cycles=8_000_000, seed=0)
+        registry = MetricsRegistry()
+        sampler = CsvSampler(tmp_path / "series.csv").attach(registry)
+        system = resolve_policy("ugpu")([], arrivals=schedule,
+                                        metrics=registry)
+        result = system.run(25_000_000)
+        sampler.close()
+
+        rows = read_series(tmp_path / "series.csv")
+        admitted = series_values(rows, "repro_open_admissions_total")
+        assert admitted[-1][1] == result.admissions
+        delay_sum = series_values(
+            rows, "repro_open_queueing_delay_cycles_sum")
+        delay_count = series_values(
+            rows, "repro_open_queueing_delay_cycles_count")
+        assert delay_count[-1][1] == result.admissions
+        expected = result.mean_queueing_delay * result.admissions
+        assert delay_sum[-1][1] == pytest.approx(expected)
+
+    def test_metrics_subcommand_bridges_a_trace(self, tmp_path, capsys):
+        prefix = tmp_path / "tl"
+        assert main(["trace", "--mix", "PVC,DXTC", "--cycles", "6000000",
+                     "--output", str(prefix), "--format", "jsonl"]) == 0
+        capsys.readouterr()
+        prom = tmp_path / "bridge.prom"
+        assert main(["metrics", str(prefix) + ".jsonl",
+                     "--out", str(prom), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "exposition format OK" in out
+
+        from repro.telemetry import parse_prometheus
+        samples = parse_prometheus(prom.read_text())["samples"]
+        assert samples[("repro_epochs_total", ())] > 0
+
+    def test_metrics_subcommand_to_stdout(self, tmp_path, capsys):
+        prefix = tmp_path / "tl"
+        assert main(["trace", "--mix", "PVC,DXTC", "--cycles", "6000000",
+                     "--output", str(prefix), "--format", "jsonl"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(prefix) + ".jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_epochs_total counter" in out

@@ -1,0 +1,364 @@
+"""Tests for the telemetry layer (repro.telemetry): registry semantics,
+exposition round-trips, CSV series, the scrape server, provenance, and
+the trace->metrics bridge against live instrumentation."""
+
+import math
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec import resolve_policy
+from repro.telemetry import (
+    CYCLE_BUCKETS,
+    MetricsRegistry,
+    MetricsServer,
+    NullRegistry,
+    collect_provenance,
+    fold_exec_stats,
+    parse_prometheus,
+    read_provenance,
+    read_series,
+    registry_from_trace,
+    series_values,
+    stamp,
+    to_json,
+    to_prometheus,
+    validate_prometheus_file,
+    write_prometheus,
+)
+from repro.telemetry.exposition import BUILD_INFO_METRIC
+from repro.trace import TraceRecorder, summarize
+from repro.trace.summary import TraceSummary
+from repro.workloads import poisson_arrivals
+
+
+class TestRegistry:
+    def test_counter_and_gauge_basics(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", "jobs", labels=("policy",))
+        jobs.labels(policy="ugpu").inc()
+        jobs.labels(policy="ugpu").inc(2)
+        depth = reg.gauge("depth")
+        depth.set(4)
+        depth.dec()
+        assert reg.value("jobs_total", policy="ugpu") == 3.0
+        assert reg.value("depth") == 3.0
+        assert reg.value("never_touched") == 0.0
+
+    def test_counter_cannot_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("c").inc(-1)
+
+    def test_family_declaration_is_idempotent(self):
+        reg = MetricsRegistry()
+        first = reg.counter("c", "help", labels=("k",))
+        assert reg.counter("c", "help", labels=("k",)) is first
+        with pytest.raises(ConfigError):
+            reg.gauge("c")  # kind mismatch
+        with pytest.raises(ConfigError):
+            reg.counter("c", labels=("other",))  # label mismatch
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("0starts_with_digit")
+        with pytest.raises(ConfigError):
+            reg.counter("ok", labels=("le",))  # reserved
+        with pytest.raises(ConfigError):
+            reg.counter("ok2", labels=("k", "k"))  # duplicate
+
+    def test_cardinality_guard(self):
+        reg = MetricsRegistry(max_label_sets=4)
+        family = reg.counter("c", labels=("k",))
+        for i in range(4):
+            family.labels(k=str(i)).inc()
+        with pytest.raises(ConfigError, match="cardinality"):
+            family.labels(k="4").inc()
+        # Existing children stay reachable after the guard trips.
+        family.labels(k="0").inc()
+        assert reg.value("c", k="0") == 2.0
+
+
+class TestHistogram:
+    def test_boundary_values_are_inclusive(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.5, 10.0))
+        hist.observe(1.0)        # le=1.0 is inclusive
+        hist.observe(1.0000001)  # next bucket
+        hist.observe(-5.0)       # below every bound: first bucket
+        hist.observe(10.0)       # last finite bucket, inclusive
+        hist.observe(11.0)       # implicit +Inf bucket
+        cumulative = dict(hist._default_child().cumulative())
+        assert cumulative[1.0] == 2
+        assert cumulative[2.5] == 3
+        assert cumulative[10.0] == 4
+        assert cumulative[math.inf] == 5
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(18.0000001)
+
+    def test_infinite_observation_lands_in_inf_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0,))
+        hist.observe(math.inf)
+        cumulative = hist._default_child().cumulative()
+        assert cumulative == [(1.0, 0), (math.inf, 1)]
+
+    def test_nan_observation_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.histogram("h", buckets=(1.0,)).observe(float("nan"))
+
+    def test_explicit_inf_bucket_is_trimmed(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, math.inf))
+        assert hist.buckets == (1.0,)
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.histogram("h1", buckets=())
+        with pytest.raises(ConfigError):
+            reg.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            reg.histogram("h3", buckets=(math.inf,))
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("c", labels=("k",)).labels(k="v").inc()
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        reg.epoch_boundary(0, 0.0)
+        assert reg.families() == []
+        stamp(reg, None, policy="x")
+        assert reg.provenance == {}
+
+    def test_fold_exec_stats_tolerates_disabled_registries(self):
+        from repro.exec.stats import ExecStats
+
+        stats = ExecStats(jobs_total=3)
+        fold_exec_stats(None, stats)
+        fold_exec_stats(NullRegistry(), stats)
+        live = MetricsRegistry()
+        fold_exec_stats(live, stats)
+        assert live.value("repro_exec_jobs_total") == 3.0
+
+
+class TestPrometheusRoundTrip:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.provenance.update({"git_sha": "abc123", "seed": "0"})
+        reg.counter("repro_jobs_total", "Jobs.", labels=("policy",)) \
+            .labels(policy="ugpu").inc(7)
+        reg.gauge("repro_depth", "Queue depth.").set(2.5)
+        hist = reg.histogram("repro_delay", "Delay.", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(50.0)
+        return reg
+
+    def test_round_trip_preserves_samples(self):
+        parsed = parse_prometheus(to_prometheus(self._registry()))
+        samples = parsed["samples"]
+        assert samples[("repro_jobs_total", (("policy", "ugpu"),))] == 7.0
+        assert samples[("repro_depth", ())] == 2.5
+        assert samples[("repro_delay_bucket", (("le", "1"),))] == 1.0
+        assert samples[("repro_delay_bucket", (("le", "+Inf"),))] == 2.0
+        assert samples[("repro_delay_sum", ())] == 50.5
+        assert samples[("repro_delay_count", ())] == 2.0
+        assert parsed["types"]["repro_jobs_total"] == "counter"
+        assert parsed["types"]["repro_delay"] == "histogram"
+
+    def test_provenance_becomes_build_info(self):
+        parsed = parse_prometheus(to_prometheus(self._registry()))
+        key = (BUILD_INFO_METRIC,
+               (("git_sha", "abc123"), ("seed", "0")))
+        assert parsed["samples"][key] == 1.0
+
+    def test_file_write_and_validate(self, tmp_path):
+        path = tmp_path / "out.prom"
+        count = write_prometheus(self._registry(), path)
+        assert validate_prometheus_file(path) == count
+
+    def test_malformed_exposition_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_prometheus("not a metric line at all {")
+        with pytest.raises(ConfigError):
+            parse_prometheus("# TYPE x sometype\nx 1\n")
+        with pytest.raises(ConfigError):
+            parse_prometheus("x 1\nx 2\n")  # duplicate sample
+
+    def test_histogram_invariants_checked(self):
+        broken = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'  # not monotone
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ConfigError):
+            parse_prometheus(broken)
+
+    def test_json_snapshot(self):
+        payload = to_json(self._registry())
+        assert payload["provenance"]["git_sha"] == "abc123"
+        by_name = {f["name"]: f for f in payload["metrics"]}
+        assert by_name["repro_jobs_total"]["kind"] == "counter"
+        assert by_name["repro_delay"]["kind"] == "histogram"
+
+
+class TestCsvSeries:
+    def test_sampler_round_trip(self, tmp_path):
+        from repro.telemetry import CsvSampler
+
+        reg = MetricsRegistry()
+        stamp(reg, None, policy="test")
+        counter = reg.counter("repro_c_total", labels=("k",))
+        hist = reg.histogram("repro_h", buckets=(10.0,))
+        sampler = CsvSampler(tmp_path / "series.csv").attach(reg)
+        counter.labels(k="a").inc(2)
+        hist.observe(4.0)
+        reg.epoch_boundary(0, 1000.0)
+        counter.labels(k="a").inc(3)
+        reg.epoch_boundary(1, 2000.0)
+        sampler.close()
+
+        rows = read_series(tmp_path / "series.csv")
+        assert series_values(rows, "repro_c_total", k="a") == [(0, 2.0),
+                                                              (1, 5.0)]
+        assert series_values(rows, "repro_h_sum") == [(0, 4.0), (1, 4.0)]
+        assert series_values(rows, "repro_h_count") == [(0, 1.0), (1, 1.0)]
+        provenance = read_provenance(tmp_path / "series.csv")
+        assert provenance["policy"] == "test"
+        assert "git_sha" in provenance and "config_hash" in provenance
+
+
+class TestMetricsServer:
+    def test_scrape_endpoint_serves_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_hits_total").inc(3)
+        with MetricsServer(reg, port=0) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                assert response.status == 200
+                assert "0.0.4" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        parsed = parse_prometheus(body)
+        assert parsed["samples"][("repro_hits_total", ())] == 3.0
+
+
+class TestProvenance:
+    def test_collect_has_required_keys(self):
+        info = collect_provenance(None, policy="ugpu")
+        for key in ("git_sha", "repro_version", "python_version",
+                    "platform", "config_hash"):
+            assert info[key], key
+        assert info["policy"] == "ugpu"
+
+    def test_config_hash_is_stable_and_sensitive(self):
+        from repro.telemetry import config_hash
+
+        assert config_hash({"a": 1}) == config_hash({"a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_open_system_result_carries_provenance(self):
+        schedule = poisson_arrivals(mean_interarrival_cycles=2_000_000,
+                                    horizon_cycles=6_000_000, seed=1)
+        system = resolve_policy("ugpu")([], arrivals=schedule)
+        result = system.run(6_000_000)
+        assert result.provenance["policy"].lower() == "ugpu"
+        assert "git_sha" in result.provenance
+
+
+class TestSummarySatellites:
+    def test_dropped_events_surfaced(self):
+        summary = summarize([], dropped_events=7)
+        assert summary.dropped_events == 7
+        assert "dropped 7" in summary.format()
+
+    def test_raw_stall_fraction_unclamped(self):
+        summary = TraceSummary(epochs=2, total_cycles=100.0,
+                               migration_cycles=150.0)
+        assert summary.migration_stall_fraction == 1.0
+        assert summary.migration_stall_fraction_raw == pytest.approx(1.5)
+        assert "RAW 1.500" in summary.format()
+
+    def test_sane_fraction_does_not_warn(self):
+        summary = TraceSummary(epochs=2, total_cycles=100.0,
+                               migration_cycles=50.0)
+        assert summary.migration_stall_fraction == pytest.approx(0.5)
+        assert "RAW" not in summary.format()
+
+
+#: Families whose live and bridged values must agree exactly on a run
+#: that records both a trace and a registry.
+_EQUIVALENT_FAMILIES = (
+    "repro_epochs_total",
+    "repro_epoch_cycles_total",
+    "repro_instructions_total",
+    "repro_migration_stall_cycles_total",
+    "repro_reallocations_total",
+    "repro_qos_interventions_total",
+    "repro_migration_pages_total",
+    "repro_migration_window_cycles_total",
+    "repro_open_arrivals_total",
+    "repro_open_admissions_total",
+    "repro_open_departures_total",
+    "repro_open_wait_queue_depth",
+    "repro_open_resident_jobs",
+    "repro_trace_dropped_events",
+)
+
+
+class TestBridgeEquivalence:
+    def _golden_run(self):
+        schedule = poisson_arrivals(mean_interarrival_cycles=1_500_000,
+                                    horizon_cycles=10_000_000, seed=0)
+        recorder = TraceRecorder()
+        live = MetricsRegistry()
+        system = resolve_policy("ugpu")(
+            [], arrivals=schedule, tracer=recorder, metrics=live)
+        system.run(10_000_000)
+        bridged = registry_from_trace(recorder.events(),
+                                      dropped_events=recorder.dropped)
+        return live, bridged
+
+    def test_counters_and_gauges_match(self):
+        live, bridged = self._golden_run()
+        assert live.value("repro_open_arrivals_total") > 0  # non-trivial run
+        for name in _EQUIVALENT_FAMILIES:
+            # The bridge declares every canonical family; a live run only
+            # registers the ones its events touched (no QoS target -> no
+            # interventions family).  Enumerate from whichever side has
+            # it; value() defaults the other side to 0.0.
+            family = live.get(name) or bridged.get(name)
+            assert family is not None, name
+            for label_values, _child in family.samples():
+                labels = dict(zip(family.label_names, label_values))
+                assert bridged.value(name, **labels) == pytest.approx(
+                    live.value(name, **labels)
+                ), (name, labels)
+
+    def test_queueing_delay_histogram_matches(self):
+        live, bridged = self._golden_run()
+        name = "repro_open_queueing_delay_cycles"
+        live_hist, bridged_hist = live.get(name), bridged.get(name)
+        assert live_hist.count == bridged_hist.count > 0
+        assert live_hist.sum == pytest.approx(bridged_hist.sum)
+        assert (live_hist._default_child().cumulative()
+                == bridged_hist._default_child().cumulative())
+
+    def test_epoch_duration_histogram_matches(self):
+        live, bridged = self._golden_run()
+        name = "repro_epoch_duration_cycles"
+        assert live.get(name).count == bridged.get(name).count > 0
+        assert live.get(name).sum == pytest.approx(bridged.get(name).sum)
+
+
+class TestDefaultBuckets:
+    def test_cycle_buckets_cover_the_paper_horizon(self):
+        assert CYCLE_BUCKETS[0] <= 100_000.0
+        assert CYCLE_BUCKETS[-1] >= 25_000_000.0
+        assert list(CYCLE_BUCKETS) == sorted(CYCLE_BUCKETS)

@@ -14,9 +14,12 @@ or run side by side)::
     python examples/live_dashboard.py series.csv
 
 Pass ``--follow`` to re-read and re-render every interval while a long
-run is still appending::
+run is still appending (a torn final row from a mid-write read is
+skipped, not fatal)::
 
     python examples/live_dashboard.py series.csv --follow --interval 2
+
+``--once`` renders a single frame and exits — for scripts and CI.
 """
 
 import argparse
@@ -58,7 +61,10 @@ def _mean_series(rows, metric):
 
 
 def render(path) -> bool:
-    rows = read_series(path)
+    # Tolerant parsing: a live run may be appending while we read, so a
+    # torn final row (or an empty line from a mid-write flush) is
+    # expected, not an error.
+    rows = read_series(path, strict=False)
     if not rows:
         print(f"{path}: no samples yet")
         return False
@@ -110,11 +116,14 @@ def main() -> int:
     parser.add_argument("csv", help="series file from --metrics-csv")
     parser.add_argument("--follow", action="store_true",
                         help="re-render every --interval seconds")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit (overrides "
+                             "--follow; handy for scripts and CI)")
     parser.add_argument("--interval", type=float, default=2.0,
                         help="refresh period in seconds (default: 2)")
     args = parser.parse_args()
 
-    if not args.follow:
+    if args.once or not args.follow:
         return 0 if render(args.csv) else 1
     try:
         while True:

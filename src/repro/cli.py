@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro arrivals --seed 0             # open-system Poisson run
     python -m repro trace --mix PVC,DXTC          # timeline -> JSONL + Perfetto
     python -m repro metrics trace.jsonl           # trace -> Prometheus metrics
+    python -m repro profile --scenario arrivals   # self-profile: hot phases
+    python -m repro bench --compare benchmarks/baseline.json  # perf gate
 
 ``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
 fans the independent simulations out over N worker processes, and
@@ -30,6 +32,14 @@ Perfetto, then prints the derived summary metrics.
 ``examples/live_dashboard.py`` tails) and ``--metrics-port`` (a live
 ``/metrics`` scrape endpoint for the duration of the run).  ``metrics``
 derives the same registry offline from a recorded JSONL trace.
+
+``profile`` and ``bench`` point the instruments at the simulator itself
+(:mod:`repro.profiling`): ``profile`` runs one pinned scenario under the
+:class:`~repro.profiling.PhaseProfiler` and prints the self/cumulative
+hot-phase table plus a Perfetto-loadable Chrome trace; ``bench`` runs
+the pinned suite k times per scenario, writes a schema-versioned
+``BENCH_<git-sha>.json`` artifact, and with ``--compare`` gates the run
+against a baseline document (exit 1 on a >15% min-time regression).
 """
 
 from __future__ import annotations
@@ -245,6 +255,45 @@ def _parser() -> argparse.ArgumentParser:
                         help="which paper figure's series to export")
     export.add_argument("--output", default="-",
                         help="output path (default: stdout)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile one bench scenario: phase table + Chrome trace")
+    profile.add_argument("--scenario", default="arrivals",
+                         help="bench scenario to profile (default: arrivals; "
+                              "see `repro bench --list`)")
+    profile.add_argument("--output", default="profile", metavar="PREFIX",
+                         help="Chrome-trace path prefix (default: ./profile "
+                              "-> profile.chrome.json)")
+    profile.add_argument("--top", type=_positive_int, default=15,
+                         help="rows in the hot-phase table (default: 15)")
+    profile.add_argument("--sort", choices=["self", "cum"], default="self",
+                         help="order the table by self or cumulative time")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark suite; write BENCH_<sha>.json and "
+             "optionally gate against a baseline")
+    bench.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
+                       help="subset of scenarios to run (default: all)")
+    bench.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
+    bench.add_argument("--repeat", type=_positive_int, default=3, metavar="K",
+                       help="repetitions per scenario; min/median are over "
+                            "these (default: 3)")
+    bench.add_argument("--out", default=".", metavar="DIR",
+                       help="directory for the BENCH_<sha>.json artifact "
+                            "(default: .)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                       help="gate this run against a baseline BENCH document")
+    bench.add_argument("--fail-threshold", type=float, default=0.15,
+                       help="min-time regression that fails the gate "
+                            "(default: 0.15)")
+    bench.add_argument("--warn-threshold", type=float, default=0.05,
+                       help="min-time regression that warns (default: 0.05)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (for comparing "
+                            "across machines)")
     return parser
 
 
@@ -486,6 +535,64 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Self-profile one bench scenario with the phase profiler attached."""
+    from repro.profiling import PhaseProfiler, scenario_names, scenarios
+
+    suite = scenarios()
+    if args.scenario not in suite:
+        print(f"unknown scenario {args.scenario!r}; known: "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    scenario = suite[args.scenario]
+    print(f"profiling scenario {scenario.name}: {scenario.description}\n")
+    profiler = PhaseProfiler()
+    meta = scenario.fn(profiler) or {}
+    print(profiler.format_table(top=args.top, sort=args.sort))
+    if meta:
+        print("\n" + "  ".join(f"{k}={v}" for k, v in meta.items()))
+    path = f"{args.output}.chrome.json"
+    count = profiler.write_chrome_trace(path)
+    print(f"\nwrote {count} phase spans to {path} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the pinned suite; write the artifact; optionally gate."""
+    from repro.profiling import (
+        bench_filename,
+        compare_benchmarks,
+        read_bench,
+        run_bench,
+        scenario_names,
+        write_bench,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    doc = run_bench(names=args.scenarios, repeats=args.repeat,
+                    progress=print)
+    path = write_bench(doc, args.out)
+    print(f"\nwrote {bench_filename(doc)} "
+          f"({len(doc['scenarios'])} scenarios, {args.repeat}x each)")
+    if args.compare is None:
+        return 0
+    baseline = read_bench(args.compare)
+    comparison = compare_benchmarks(
+        baseline, doc,
+        fail_threshold=args.fail_threshold,
+        warn_threshold=args.warn_threshold,
+    )
+    print(f"\n{comparison.format()}")
+    if comparison.failed and args.warn_only:
+        print("(--warn-only: exiting 0 despite the failure above)")
+        return 0
+    return 1 if comparison.failed else 0
+
+
 def main(argv: Sequence[str] = None) -> int:
     args = _parser().parse_args(argv)
     handlers = {
@@ -497,6 +604,8 @@ def main(argv: Sequence[str] = None) -> int:
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "export": cmd_export,
+        "profile": cmd_profile,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -225,6 +225,7 @@ class MultitaskSystem:
         arrivals: Optional[ArrivalSchedule] = None,
         max_slots: Optional[int] = None,
         metrics=None,
+        profiler=None,
     ) -> None:
         """``total_memory_bytes`` enables memory-oversubscription modelling
         (paper Sections 3.2 and 5): each slice's capacity is proportional
@@ -247,7 +248,16 @@ class MultitaskSystem:
         duration histogram, migration-stall cycles, and — in open runs —
         arrival/admission/departure counters, the queueing-delay
         histogram and queue-depth gauges.  Like ``tracer``, it defaults
-        to ``None`` and costs nothing when absent."""
+        to ``None`` and costs nothing when absent.
+
+        ``profiler`` (a :class:`repro.profiling.PhaseProfiler`) measures
+        host wall time per simulator phase: ``epoch`` with
+        ``epoch.advance`` / ``epoch.policy`` / ``epoch.lifecycle``
+        children, and ``run.solo_ipc`` for the Equation 3/4 denominator.
+        Stored as :attr:`phase_profiler` — the plain ``profiler``
+        attribute stays delegated to the composed policy's epoch-counter
+        :class:`~repro.core.profiler.EpochProfiler` for backward
+        compatibility."""
         if policy is None:
             from repro.policies.base import PartitionPolicy
 
@@ -272,6 +282,7 @@ class MultitaskSystem:
         )
         self.tracer = tracer
         self.metrics = metrics
+        self.phase_profiler = profiler
         if metrics is not None:
             # Resolve children once; the per-epoch hot path then touches
             # plain objects (or no-ops, under a NullRegistry).
@@ -374,6 +385,10 @@ class MultitaskSystem:
     # Epoch step
     # ------------------------------------------------------------------
     def _step(self, epoch_index: int, span: int) -> EpochResult:
+        prof = self.phase_profiler
+        if prof is not None:
+            prof.begin("epoch")
+            prof.begin("epoch.advance")
         instructions: Dict[int, int] = {}
         migration_cycles = 0.0
         for state in self.apps.values():
@@ -412,10 +427,19 @@ class MultitaskSystem:
         )
         before = self.repartitions
         self._trace_now = result.end_cycle
+        if prof is not None:
+            prof.end("epoch.advance")
+            prof.begin("epoch.policy")
         if self.apps:
             self.at_epoch_end(epoch_index, span)
+        if prof is not None:
+            prof.end("epoch.policy")
         if self._open:
-            self._process_boundary(result.end_cycle)
+            if prof is not None:
+                with prof.span("epoch.lifecycle"):
+                    self._process_boundary(result.end_cycle)
+            else:
+                self._process_boundary(result.end_cycle)
         result.repartitioned = self.repartitions > before
         # Snapshot the (possibly just-updated) partition for dynamics
         # analysis: {app_id: (sms, channels)} at the end of this epoch.
@@ -438,6 +462,8 @@ class MultitaskSystem:
             self._m_instructions.inc(sum(instructions.values()))
             self._m_stall.inc(result.migration_cycles)
             self.metrics.epoch_boundary(epoch_index, result.end_cycle)
+        if prof is not None:
+            prof.end("epoch")
         return result
 
     # ------------------------------------------------------------------
@@ -651,6 +677,9 @@ class MultitaskSystem:
         cached = _SOLO_IPC_CACHE.get(key)
         if cached is not None:
             return cached
+        prof = self.phase_profiler
+        if prof is not None:
+            prof.begin("run.solo_ipc")
         solo = app.clone()
         instructions = 0
         elapsed = 0
@@ -677,6 +706,8 @@ class MultitaskSystem:
             )
         ipc = instructions / total_cycles
         _SOLO_IPC_CACHE[key] = ipc
+        if prof is not None:
+            prof.end("run.solo_ipc")
         return ipc
 
     # ------------------------------------------------------------------

@@ -58,3 +58,8 @@ class TranslationError(ReproError):
 class QoSError(ReproError):
     """A QoS constraint cannot be expressed or satisfied structurally
     (e.g. a target above 1.0 normalized progress)."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry facility cannot be set up (e.g. the requested metrics
+    port is already bound by another process)."""

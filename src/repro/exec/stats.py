@@ -2,7 +2,8 @@
 
 :class:`ExecStats` is how the executor proves its worth: it counts jobs,
 cache hits and evictions, and records per-job in-worker seconds so the
-CLI can print p50/p95 next to the end-to-end wall-clock.  Stats objects
+CLI can print min/median/p95/max and the simulation-vs-orchestration
+wall-clock split next to the end-to-end wall-clock.  Stats objects
 merge, so one :class:`~repro.exec.executor.SweepExecutor` can accumulate
 a whole multi-policy comparison.
 """
@@ -43,6 +44,30 @@ class ExecStats:
         return _percentile(self.job_seconds, 0.95)
 
     @property
+    def min_seconds(self) -> float:
+        return min(self.job_seconds) if self.job_seconds else 0.0
+
+    @property
+    def median_seconds(self) -> float:
+        return _percentile(self.job_seconds, 0.50)
+
+    @property
+    def max_seconds(self) -> float:
+        return max(self.job_seconds) if self.job_seconds else 0.0
+
+    @property
+    def job_seconds_total(self) -> float:
+        """In-worker simulation seconds summed over every executed job."""
+        return sum(self.job_seconds)
+
+    @property
+    def orchestration_seconds(self) -> float:
+        """Wall-clock not spent simulating: scheduling, serialization,
+        cache probes.  With parallel workers the in-worker total can
+        exceed the wall-clock, so this clamps at zero."""
+        return max(0.0, self.wall_seconds - self.job_seconds_total)
+
+    @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.jobs_total if self.jobs_total else 0.0
 
@@ -68,8 +93,14 @@ class ExecStats:
         ]
         if self.job_seconds:
             parts.append(
-                f"per-job p50 {self.p50_seconds * 1e3:.1f}ms "
-                f"p95 {self.p95_seconds * 1e3:.1f}ms"
+                f"per-job min {self.min_seconds * 1e3:.1f}ms "
+                f"median {self.median_seconds * 1e3:.1f}ms "
+                f"p95 {self.p95_seconds * 1e3:.1f}ms "
+                f"max {self.max_seconds * 1e3:.1f}ms"
+            )
+            parts.append(
+                f"sim {self.job_seconds_total:.2f}s + "
+                f"orchestration {self.orchestration_seconds:.2f}s"
             )
         if self.cache_evictions:
             parts.append(f"evictions {self.cache_evictions}")

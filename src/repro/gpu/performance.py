@@ -78,6 +78,14 @@ class PerformanceModel:
         config = config if config is not None else GPUConfig()
         config.validate()
         self.config = config
+        # throughput() is pure in (kernel, sms, channels) for a fixed
+        # config, and the epoch loop re-evaluates the same slice for
+        # every epoch a kernel runs, so memoize.  Kernel is a frozen
+        # (hashable) dataclass and SliceThroughput is frozen, so shared
+        # results are safe.  Keyed by the kernel object itself — the dict
+        # holds a reference, so ids cannot be recycled under us — and
+        # bounded by (#kernels x #distinct slice shapes) per model.
+        self._throughput_memo: dict = {}
 
     # ------------------------------------------------------------------
     # Equation 1: per-slice bandwidth demand
@@ -116,6 +124,10 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     def throughput(self, kernel: Kernel, num_sms: int, num_channels: int) -> SliceThroughput:
         """Kernel throughput on a slice of (num_sms, num_channels)."""
+        key = (kernel, num_sms, num_channels)
+        cached = self._throughput_memo.get(key)
+        if cached is not None:
+            return cached
         if num_sms < 0 or num_channels < 0:
             raise ConfigError("slice sizes must be non-negative")
         cfg = self.config
@@ -140,7 +152,7 @@ class PerformanceModel:
         ipc = min(compute_roof, bandwidth_roof, mlp_roof)
         if num_sms == 0 or (num_channels == 0 and bytes_per_instr > 0):
             ipc = 0.0
-        return SliceThroughput(
+        result = self._throughput_memo[key] = SliceThroughput(
             ipc=ipc,
             compute_roof=compute_roof,
             bandwidth_roof=bandwidth_roof,
@@ -150,6 +162,7 @@ class PerformanceModel:
             dram_bytes_per_cycle=ipc * bytes_per_instr * (1.0 - hit),
             llc_hit_rate=hit,
         )
+        return result
 
     def alone_ipc(self, kernel: Kernel) -> float:
         """IPC with the whole GPU (the :math:`IPC^{alone}` of Equations

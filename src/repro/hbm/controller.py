@@ -89,7 +89,7 @@ class MemoryController:
                  write_buffer_entries: int = 0,
                  write_high_watermark: float = 0.75,
                  write_low_watermark: float = 0.25,
-                 metrics=None) -> None:
+                 metrics=None, profiler=None) -> None:
         """``refresh_enabled`` turns on all-bank refresh: every tREFI the
         controller closes all rows and blocks the channel for tRFC (off by
         default — the short command-level experiments rarely span a
@@ -97,7 +97,10 @@ class MemoryController:
         ``write_buffer_entries`` > 0 enables write buffering.
         ``metrics`` (a telemetry registry) counts per-channel serviced
         commands and row-buffer outcomes, and gauges achieved/peak
-        bandwidth utilization after each :meth:`drain`."""
+        bandwidth utilization after each :meth:`drain`.
+        ``profiler`` (a :class:`~repro.profiling.profiler.PhaseProfiler`)
+        attributes host wall time per :meth:`drain` to an
+        ``hbm.service_requests`` phase."""
         config.validate()
         if write_buffer_entries < 0:
             raise ProtocolError("write_buffer_entries must be non-negative")
@@ -117,6 +120,7 @@ class MemoryController:
         self.write_buffer: List[MemoryRequest] = []
         self.write_bursts = 0
         self.metrics = metrics
+        self.profiler = profiler
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -270,6 +274,12 @@ class MemoryController:
     def drain(self) -> List[MemoryRequest]:
         """Serve every queued request (and flush the write buffer);
         returns the served requests in completion order."""
+        if self.profiler is not None:
+            with self.profiler.span("hbm.service_requests"):
+                return self._drain()
+        return self._drain()
+
+    def _drain(self) -> List[MemoryRequest]:
         completed: List[MemoryRequest] = []
         while self.queue:
             completed.append(self.service_one())

@@ -103,10 +103,12 @@ class MigrationEngine:
         mode: MigrationMode = MigrationMode.PPMM,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         self.driver = driver
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -137,6 +139,17 @@ class MigrationEngine:
 
         ``rebalance_cap`` bounds the lazy batch (None = rebalance fully).
         """
+        if self.profiler is not None:
+            with self.profiler.span("pagemove.plan"):
+                return self._plan_channel_reallocation(
+                    app_id, new_channels, rebalance_cap
+                )
+        return self._plan_channel_reallocation(app_id, new_channels, rebalance_cap)
+
+    def _plan_channel_reallocation(
+        self, app_id: int, new_channels: Iterable[int],
+        rebalance_cap: Optional[int] = None,
+    ) -> MigrationPlan:
         old = frozenset(self.driver.assigned_channels(app_id))
         new = frozenset(new_channels)
         if not new:
@@ -210,6 +223,12 @@ class MigrationEngine:
         any page moves, so a plan that cannot complete is rejected whole
         rather than leaving the address space half-migrated.
         """
+        if self.profiler is not None:
+            with self.profiler.span("pagemove.execute"):
+                return self._execute(plan, include_lazy)
+        return self._execute(plan, include_lazy)
+
+    def _execute(self, plan: MigrationPlan, include_lazy: bool = True) -> MigrationReport:
         app_id = plan.app_id
         self._check_capacity(plan, include_lazy)
         # 1. Flush L1 TLBs (all SMs revalidate through the L2 TLB).

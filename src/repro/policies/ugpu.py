@@ -202,15 +202,24 @@ class UGPUPolicy(PartitionPolicy):
 
     def on_epoch_end(self, epoch_index: int, span: int) -> None:
         runner = self.runner
+        prof = runner.phase_profiler
+        if prof is not None:
+            prof.begin("ugpu.profile")
         profiles = {
             app_id: self.profiler.profile(app_id) for app_id in runner.apps
         }
         self._last_profiles = dict(profiles)
+        if prof is not None:
+            prof.end("ugpu.profile")
         if self.offline:
             return  # partition fixed before execution
         previous = {a: s.allocation for a, s in runner.apps.items()}
+        if prof is not None:
+            prof.begin("ugpu.partition")
         decision = self.partitioner.compute(profiles)
         decision = self._enforce_qos(decision, profiles)
+        if prof is not None:
+            prof.end("ugpu.partition")
         decision.latency_cycles = self.algorithm_cost.total_cycles(
             decision.iterations, num_apps=len(runner.apps)
         )
@@ -247,7 +256,11 @@ class UGPUPolicy(PartitionPolicy):
             metric_names.reallocations_total(runner.metrics).labels(
                 outcome="apply"
             ).inc()
-        self._charge_reallocation(previous, decision, profiles)
+        if prof is not None:
+            with prof.span("ugpu.charge"):
+                self._charge_reallocation(previous, decision, profiles)
+        else:
+            self._charge_reallocation(previous, decision, profiles)
 
     def _worth_applying(self, previous, proposed, profiles) -> bool:
         """Estimated relative STP gain must clear the hysteresis bar."""

@@ -1,0 +1,49 @@
+"""Self-profiling and continuous benchmarking of the simulator itself.
+
+Three layers, consumed by the ``repro profile`` and ``repro bench`` CLI
+subcommands and the CI ``bench`` job:
+
+* :mod:`~repro.profiling.profiler` — :class:`PhaseProfiler`, nestable
+  wall-clock spans with self/cumulative attribution, threaded through
+  the runner/engine/HBM/policy/pagemove/driver layers as zero-overhead
+  ``profiler=None`` hooks (the host-time sibling of ``tracer=`` /
+  ``metrics=``).
+* :mod:`~repro.profiling.bench` — the pinned scenario suite, k-repeat
+  min/median statistics, and the schema-versioned ``BENCH_<sha>.json``
+  artifact.
+* :mod:`~repro.profiling.compare` — noise-aware regression gating
+  between two BENCH documents.
+"""
+
+from repro.profiling.bench import (
+    BENCH_SCHEMA,
+    Scenario,
+    bench_filename,
+    read_bench,
+    run_bench,
+    scenario_names,
+    scenarios,
+    write_bench,
+)
+from repro.profiling.compare import (
+    BenchComparison,
+    ScenarioVerdict,
+    compare_benchmarks,
+)
+from repro.profiling.profiler import PhaseProfiler, PhaseStats
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "PhaseProfiler",
+    "PhaseStats",
+    "Scenario",
+    "ScenarioVerdict",
+    "bench_filename",
+    "compare_benchmarks",
+    "read_bench",
+    "run_bench",
+    "scenario_names",
+    "scenarios",
+    "write_bench",
+]

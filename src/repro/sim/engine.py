@@ -92,13 +92,16 @@ class EventQueue:
     fired event (after its action ran), carrying the event's tag and
     schedule sequence number.  ``metrics`` (a telemetry registry)
     additionally counts fired events and samples the live queue depth.
+    ``profiler`` (a :class:`~repro.profiling.profiler.PhaseProfiler`)
+    attributes host wall time to a ``sim.event`` phase per fired action.
     """
 
     def __init__(self, clock: Optional[SimClock] = None, tracer=None,
-                 metrics=None) -> None:
+                 metrics=None, profiler=None) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -153,7 +156,12 @@ class EventQueue:
         self._live -= 1
         event._queue = None  # a later cancel() must not double-count
         self.clock.advance_to(event.time)
-        event.action()
+        if self.profiler is not None:
+            self.profiler.begin("sim.event")
+            event.action()
+            self.profiler.end("sim.event")
+        else:
+            event.action()
         self._fired += 1
         if self.tracer is not None:
             self.tracer.emit(

@@ -126,8 +126,13 @@ class SeriesRow:
         )
 
 
-def read_series(path: PathLike) -> List[SeriesRow]:
-    """Parse a sampler CSV back into rows (comments/header skipped)."""
+def read_series(path: PathLike, strict: bool = True) -> List[SeriesRow]:
+    """Parse a sampler CSV back into rows (comments/header skipped).
+
+    With ``strict=False``, malformed rows — short records or unparsable
+    fields, as left by a writer killed mid-row or read mid-flush by a
+    live dashboard — are skipped instead of raising.
+    """
     rows: List[SeriesRow] = []
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(
@@ -136,11 +141,15 @@ def read_series(path: PathLike) -> List[SeriesRow]:
         for record in reader:
             if not record or record[0] == "epoch":
                 continue
-            epoch, cycle, metric, labels, value = record
-            rows.append(
-                SeriesRow(int(epoch), float(cycle), metric,
-                          parse_labels(labels), float(value))
-            )
+            try:
+                epoch, cycle, metric, labels, value = record
+                rows.append(
+                    SeriesRow(int(epoch), float(cycle), metric,
+                              parse_labels(labels), float(value))
+                )
+            except ValueError:
+                if strict:
+                    raise
     return rows
 
 

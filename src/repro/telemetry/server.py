@@ -13,10 +13,12 @@ Port 0 asks the OS for a free port; the bound port is available as
 
 from __future__ import annotations
 
+import errno
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.errors import TelemetryError
 from repro.telemetry.exposition import to_prometheus
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -47,7 +49,18 @@ class MetricsServer:
     def __init__(self, registry: MetricsRegistry, port: int = 0,
                  host: str = "127.0.0.1") -> None:
         handler = type("BoundHandler", (_Handler,), {"registry": registry})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                reason = ("already in use" if exc.errno == errno.EADDRINUSE
+                          else "not permitted")
+                raise TelemetryError(
+                    f"cannot serve metrics on {host}:{port}: port {port} is "
+                    f"{reason}; pass a different --metrics-port (0 picks a "
+                    "free port)"
+                ) from exc
+            raise
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self.host = host

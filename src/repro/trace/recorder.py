@@ -59,6 +59,7 @@ class TraceCategory(str, enum.Enum):
     ARRIVAL = "arrival"      #: open-system job arrival (enters the queue)
     ADMISSION = "admission"  #: open-system job admitted to a slice
     DEPARTURE = "departure"  #: open-system job retired its budget
+    PHASE = "phase"          #: host-time simulator phases (PhaseProfiler)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

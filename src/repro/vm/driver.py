@@ -64,7 +64,7 @@ class GPUDriver:
 
     def __init__(self, num_channel_groups: int = 8,
                  pages_per_channel: int = 262_144, mapping=None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None, profiler=None) -> None:
         """``mapping``, when given, must provide ``channel_of_frame(rpn)``
         and ``frames_of_channel(channel)`` (e.g.
         :class:`repro.pagemove.address_mapping.InterleavedPageMapping`);
@@ -74,7 +74,9 @@ class GPUDriver:
         ``tracer`` (a :class:`repro.trace.TraceRecorder`) receives one
         ``fault``-category record per serviced fault, named by kind;
         ``metrics`` (a telemetry registry) counts faults by kind and
-        accumulates software fault-handling cycles."""
+        accumulates software fault-handling cycles; ``profiler`` (a
+        :class:`~repro.profiling.profiler.PhaseProfiler`) attributes host
+        wall time per serviced fault to a ``vm.handle_fault`` phase."""
         if mapping is not None:
             num_channel_groups = mapping.num_channel_groups
             pages_per_channel = min(pages_per_channel, mapping.pages_per_channel)
@@ -110,6 +112,7 @@ class GPUDriver:
         self.faults: List[PageFault] = []
         self.tracer = tracer
         self.metrics = metrics
+        self.profiler = profiler
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -229,6 +232,9 @@ class GPUDriver:
         and the old frame is released; ``source_channel`` records where the
         data migrates from so the migration engine can cost the copy.
         """
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("vm.handle_fault")
         self._check_app(app_id)
         table = self.page_tables[app_id]
         source_channel = None
@@ -261,6 +267,8 @@ class GPUDriver:
         if self.metrics is not None:
             self._m_faults.labels(kind=kind.value).inc()
             self._m_fault_cycles.inc(fault.software_cycles)
+        if prof is not None:
+            prof.end("vm.handle_fault")
         return fault
 
     def is_balanced(self, app_id: int, tolerance: int = 1) -> bool:

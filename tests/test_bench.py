@@ -1,0 +1,269 @@
+"""Tests for the benchmark harness (repro.profiling.bench) and the
+regression gate (repro.profiling.compare): artifact schema round-trips,
+min/median statistics over scripted clocks, verdict semantics on
+synthetic document pairs, and the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.profiling import (
+    BENCH_SCHEMA,
+    Scenario,
+    bench_filename,
+    compare_benchmarks,
+    read_bench,
+    run_bench,
+    scenario_names,
+    write_bench,
+)
+
+
+class ScriptedClock:
+    def __init__(self, times):
+        self._times = list(times)
+
+    def __call__(self):
+        return self._times.pop(0)
+
+
+def tiny_suite():
+    return {
+        "alpha": Scenario("alpha", "first synthetic scenario",
+                          lambda profiler=None: {"count": 7}),
+        "beta": Scenario("beta", "second synthetic scenario",
+                         lambda profiler=None: {"count": 9}),
+    }
+
+
+def synthetic_doc(scenarios):
+    """A BENCH document from {name: (min_seconds, meta)} pairs."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "repeats": 3,
+        "provenance": {"git_sha": "feedc0de"},
+        "scenarios": {
+            name: {
+                "description": name,
+                "seconds": [minimum, minimum * 1.1, minimum * 1.2],
+                "min_seconds": minimum,
+                "median_seconds": minimum * 1.1,
+                "meta": meta,
+            }
+            for name, (minimum, meta) in scenarios.items()
+        },
+    }
+
+
+class TestRunBench:
+    def test_min_and_median_over_scripted_clock(self):
+        # alpha durations 5, 3, 2 -> min 2, median 3; beta 1, 1, 4.
+        clock = ScriptedClock([0, 5, 5, 8, 8, 10,
+                               10, 11, 11, 12, 12, 16])
+        doc = run_bench(names=["alpha", "beta"], repeats=3,
+                        suite=tiny_suite(), clock=clock)
+        alpha = doc["scenarios"]["alpha"]
+        assert alpha["seconds"] == [5.0, 3.0, 2.0]
+        assert alpha["min_seconds"] == 2.0
+        assert alpha["median_seconds"] == 3.0
+        assert alpha["meta"] == {"count": 7}
+        beta = doc["scenarios"]["beta"]
+        assert beta["min_seconds"] == 1.0
+        assert beta["median_seconds"] == 1.0
+
+    def test_document_carries_schema_and_provenance(self):
+        doc = run_bench(names=["alpha"], repeats=1, suite=tiny_suite())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["repeats"] == 1
+        assert doc["provenance"]["command"] == "bench"
+        assert doc["provenance"]["git_sha"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            run_bench(names=["gamma"], suite=tiny_suite())
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ConfigError, match="repeats"):
+            run_bench(suite=tiny_suite(), repeats=0)
+
+    def test_progress_called_per_scenario(self):
+        lines = []
+        run_bench(names=["alpha", "beta"], repeats=1, suite=tiny_suite(),
+                  progress=lines.append)
+        assert len(lines) == 2 and "alpha" in lines[0]
+
+    def test_pinned_suite_names(self):
+        assert scenario_names() == [
+            "closed_bp", "closed_ugpu", "closed_mps",
+            "arrivals", "ppmm_migration", "sweep",
+        ]
+
+
+class TestArtifactRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        doc = run_bench(names=["alpha"], repeats=2, suite=tiny_suite())
+        path = write_bench(doc, tmp_path)
+        assert path.name == bench_filename(doc)
+        assert path.name.startswith("BENCH_")
+        assert read_bench(path) == doc
+
+    def test_write_creates_directory(self, tmp_path):
+        doc = run_bench(names=["alpha"], repeats=1, suite=tiny_suite())
+        path = write_bench(doc, tmp_path / "artifacts" / "nested")
+        assert path.exists()
+
+    def test_filename_keeps_dirty_suffix(self):
+        doc = {"provenance": {"git_sha": "abc123-dirty"}}
+        assert bench_filename(doc) == "BENCH_abc123-dirty.json"
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": "repro.bench/0",
+                                    "scenarios": {}}))
+        with pytest.raises(ConfigError, match="schema"):
+            read_bench(path)
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            read_bench(path)
+
+    def test_read_rejects_missing_scenarios(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ConfigError, match="scenarios"):
+            read_bench(path)
+
+
+class TestCompare:
+    META = {"epochs": 500}
+
+    def test_within_noise_is_ok(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.103, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        assert [v.status for v in comparison.verdicts] == ["ok"]
+        assert not comparison.failed
+        assert comparison.format().endswith("PASS")
+
+    def test_regression_fails_the_gate(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.120, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        verdict = comparison.verdicts[0]
+        assert verdict.status == "regression"
+        assert verdict.rel_delta == pytest.approx(0.20)
+        assert comparison.failed
+        assert comparison.regressions == [verdict]
+        assert "FAIL" in comparison.format()
+
+    def test_warn_band_does_not_fail(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.110, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        assert comparison.verdicts[0].status == "warn"
+        assert not comparison.failed
+
+    def test_improvement_celebrated_never_failed(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.050, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        assert comparison.verdicts[0].status == "improved"
+        assert not comparison.failed
+
+    def test_meta_drift_is_skewed_and_fails(self):
+        base = synthetic_doc({"s": (0.100, {"epochs": 500})})
+        cand = synthetic_doc({"s": (0.050, {"epochs": 250})})
+        comparison = compare_benchmarks(base, cand)
+        verdict = comparison.verdicts[0]
+        assert verdict.status == "skewed"
+        assert "epochs 500->250" in verdict.note
+        assert comparison.failed  # a faster-but-different workload gates
+
+    def test_missing_scenarios_reported_not_failed(self):
+        base = synthetic_doc({"old": (0.1, self.META)})
+        cand = synthetic_doc({"new": (0.1, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        statuses = {v.name: v.status for v in comparison.verdicts}
+        assert statuses == {"old": "missing", "new": "missing"}
+        assert not comparison.failed
+
+    def test_zero_baseline_cannot_gate(self):
+        base = synthetic_doc({"s": (0.0, self.META)})
+        cand = synthetic_doc({"s": (0.1, self.META)})
+        comparison = compare_benchmarks(base, cand)
+        assert comparison.verdicts[0].status == "skewed"
+
+    def test_custom_thresholds(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.104, self.META)})
+        comparison = compare_benchmarks(base, cand, fail_threshold=0.03,
+                                        warn_threshold=0.01)
+        assert comparison.verdicts[0].status == "regression"
+
+    def test_threshold_ordering_enforced(self):
+        base = synthetic_doc({"s": (0.1, self.META)})
+        with pytest.raises(ConfigError, match="thresholds"):
+            compare_benchmarks(base, base, fail_threshold=0.05,
+                               warn_threshold=0.15)
+
+    def test_self_comparison_passes(self):
+        doc = synthetic_doc({"a": (0.1, self.META), "b": (0.2, self.META)})
+        assert not compare_benchmarks(doc, doc).failed
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "closed_ugpu" in out and "ppmm_migration" in out
+
+    def test_profile_unknown_scenario_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profile_prints_table_and_writes_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prefix = tmp_path / "prof"
+        assert main(["profile", "--scenario", "arrivals",
+                     "--output", str(prefix)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch.advance" in out and "self%" in out
+        doc = json.loads((tmp_path / "prof.chrome.json").read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_bench_compare_exit_codes(self, tmp_path, capsys):
+        """Gate semantics end to end: an injected 100x-faster baseline
+        makes this run a regression (exit 1, or 0 with --warn-only); an
+        injected 100x-slower baseline makes it an improvement (exit 0)."""
+        from repro.cli import main
+
+        doc = run_bench(names=["arrivals"], repeats=2)
+
+        def scaled(factor, directory):
+            copy = json.loads(json.dumps(doc))
+            entry = copy["scenarios"]["arrivals"]
+            entry["min_seconds"] = round(entry["min_seconds"] * factor, 9)
+            entry["median_seconds"] = round(
+                entry["median_seconds"] * factor, 9)
+            entry["seconds"] = [round(s * factor, 9)
+                                for s in entry["seconds"]]
+            return write_bench(copy, tmp_path / directory)
+
+        fast = scaled(0.01, "fast")
+        slow = scaled(100.0, "slow")
+        argv = ["bench", "--scenarios", "arrivals", "--repeat", "2",
+                "--out", str(tmp_path)]
+        assert main(argv + ["--compare", str(fast)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(argv + ["--compare", str(slow)]) == 0
+        assert "improved" in capsys.readouterr().out
+        assert main(argv + ["--compare", str(fast), "--warn-only"]) == 0
+        assert "--warn-only" in capsys.readouterr().out

@@ -362,3 +362,85 @@ class TestDefaultBuckets:
         assert CYCLE_BUCKETS[0] <= 100_000.0
         assert CYCLE_BUCKETS[-1] >= 25_000_000.0
         assert list(CYCLE_BUCKETS) == sorted(CYCLE_BUCKETS)
+
+
+class TestObservabilitySatellites:
+    def test_server_port_in_use_raises_actionable_error(self):
+        from repro.errors import TelemetryError
+
+        reg = MetricsRegistry()
+        with MetricsServer(reg, port=0) as server:
+            with pytest.raises(TelemetryError) as excinfo:
+                MetricsServer(reg, port=server.port)
+            message = str(excinfo.value)
+            assert str(server.port) in message
+            assert "already in use" in message
+            assert "--metrics-port" in message
+
+    def test_read_series_tolerates_torn_rows(self, tmp_path):
+        path = tmp_path / "torn.csv"
+        path.write_text(
+            "# policy=test\n"
+            "epoch,cycle,metric,labels,value\n"
+            "0,1000,repro_x,,1.5\n"
+            "\n"
+            "1,2000,repro_x,,2.5\n"
+            "2,3000,repro_x\n"
+            "3,4000,repro_x,,not_a_float\n"
+            "4,5000,repro_x,,4.5\n"
+        )
+        with pytest.raises(ValueError):
+            read_series(path)
+        rows = read_series(path, strict=False)
+        assert [(r.epoch, r.value) for r in rows] == [
+            (0, 1.5), (1, 2.5), (4, 4.5)
+        ]
+
+    def test_exec_stats_min_median_max_and_split(self):
+        from repro.exec.stats import ExecStats
+
+        stats = ExecStats(jobs_total=4, jobs_run=4, wall_seconds=1.0,
+                          job_seconds=[0.3, 0.1, 0.2, 0.2])
+        assert stats.min_seconds == pytest.approx(0.1)
+        assert stats.median_seconds == pytest.approx(0.2)
+        assert stats.max_seconds == pytest.approx(0.3)
+        assert stats.job_seconds_total == pytest.approx(0.8)
+        assert stats.orchestration_seconds == pytest.approx(0.2)
+        footer = stats.format()
+        assert "min 100.0ms" in footer
+        assert "median 200.0ms" in footer
+        assert "max 300.0ms" in footer
+        assert "sim 0.80s + orchestration 0.20s" in footer
+
+    def test_exec_stats_parallel_workers_clamp_orchestration(self):
+        from repro.exec.stats import ExecStats
+
+        stats = ExecStats(jobs_total=2, jobs_run=2, wall_seconds=0.5,
+                          workers=4, job_seconds=[0.4, 0.4])
+        assert stats.orchestration_seconds == 0.0
+
+    def test_dashboard_once_renders_single_frame(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        path = tmp_path / "series.csv"
+        path.write_text(
+            "# policy=ugpu\n"
+            "epoch,cycle,metric,labels,value\n"
+            "0,1000,repro_open_wait_queue_depth,,2\n"
+            "1,2000,repro_open_wait_queue_depth,,1\n"
+            "1,2000,repro_open_wait\n"  # torn final row must not crash it
+        )
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(repo_root, "examples", "live_dashboard.py"),
+             str(path), "--once", "--follow"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "2 epochs" in proc.stdout
+        assert "wait queue" in proc.stdout

@@ -19,7 +19,15 @@ fans the independent simulations out over N worker processes, and
 results are memoized under ``--cache-dir`` (default
 ``~/.cache/repro/sweeps`` or ``$REPRO_CACHE_DIR``) so repeated
 invocations cost near-zero; ``--no-cache`` forces fresh simulation.
-An ``ExecStats`` footer reports jobs run, cache hits and wall-clock.
+An ``ExecStats`` footer reports jobs run, cache hits, wall-clock and the
+kernel backend the jobs ran under.
+
+``run``, ``sweep``, ``arrivals`` and ``bench`` accept
+``--kernel-backend {scalar,numpy}``: the pure-python scalar oracle or
+the vectorized numpy fast path (the default when numpy is importable).
+Both produce byte-identical simulation results; only the wall-clock
+differs, which is why BENCH documents record the backend and the compare
+gate refuses to verdict across backends.
 
 ``trace`` runs one mix with a :mod:`repro.trace` recorder attached and
 writes the timeline as JSONL (``<prefix>.jsonl``) and/or a Chrome-trace
@@ -57,6 +65,11 @@ from repro.exec import (
     SweepJob,
     registered_policies,
 )
+from repro.fastpath import (
+    KERNEL_BACKENDS,
+    resolve_kernel_backend,
+    set_default_kernel_backend,
+)
 from repro.policies import BPPolicy, MPSPolicy, UGPUPolicy
 from repro.workloads import heterogeneous_pairs, poisson_arrivals
 
@@ -74,6 +87,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel-backend", default=None,
+                        choices=list(KERNEL_BACKENDS),
+                        help="simulation hot-loop implementation: 'scalar' "
+                             "is the pure-python oracle, 'numpy' the "
+                             "vectorized fast path (default: numpy when "
+                             "importable; results are byte-identical)")
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="worker processes for the sweep executor "
@@ -83,6 +105,18 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache and re-simulate")
+
+
+def _job_kwargs(args) -> Optional[dict]:
+    """Sweep-job kwargs implied by global flags.
+
+    An explicit ``--kernel-backend`` travels with each job so worker
+    processes honor it and the result cache keys the two backends apart;
+    the default (auto-resolution) adds nothing, keeping pre-existing
+    cache entries valid.
+    """
+    backend = getattr(args, "kernel_backend", None)
+    return {"kernel_backend": backend} if backend else None
 
 
 def _executor_from(args, metrics=None) -> SweepExecutor:
@@ -127,7 +161,7 @@ def _metrics_session(args, **extra):
     )
 
     registry = MetricsRegistry()
-    stamp(registry, None, **extra)
+    stamp(registry, None, kernel_backend=resolve_kernel_backend(), **extra)
     sampler = None
     if args.metrics_csv:
         sampler = CsvSampler(args.metrics_csv)
@@ -175,6 +209,7 @@ def _parser() -> argparse.ArgumentParser:
                      help="simulation horizon in GPU cycles")
     _add_exec_flags(run)
     _add_metrics_flags(run)
+    _add_backend_flag(run)
 
     sweep = sub.add_parser("sweep", help="run the 50 heterogeneous mixes")
     sweep.add_argument("--policies", nargs="+", default=["bp", "ugpu"],
@@ -182,6 +217,7 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cycles", type=int, default=25_000_000)
     _add_exec_flags(sweep)
     _add_metrics_flags(sweep)
+    _add_backend_flag(sweep)
 
     qos = sub.add_parser("qos", help="QoS scenario: high-priority "
                                      "compute-bound app (Figure 16)")
@@ -210,6 +246,7 @@ def _parser() -> argparse.ArgumentParser:
                           help="comma-separated benchmarks resident at cycle "
                                "0 (default: start empty)")
     _add_metrics_flags(arrivals)
+    _add_backend_flag(arrivals)
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
                                          "and export the timeline")
@@ -294,6 +331,7 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--warn-only", action="store_true",
                        help="report regressions but exit 0 (for comparing "
                             "across machines)")
+    _add_backend_flag(bench)
     return parser
 
 
@@ -313,7 +351,8 @@ def cmd_run(args) -> int:
     registry, finish_metrics = _metrics_session(
         args, command="run", mix="_".join(abbrs))
     executor = _executor_from(args, metrics=registry)
-    jobs = [SweepJob.build(name, abbrs, args.cycles) for name in args.policy]
+    jobs = [SweepJob.build(name, abbrs, args.cycles, kwargs=_job_kwargs(args))
+            for name in args.policy]
     results = executor.run(jobs)
     print(f"{'policy':<14} {'STP':>7} {'ANTT':>7} {'min NP':>7}  per-app NP")
     for name, result in zip(args.policy, results):
@@ -332,7 +371,7 @@ def cmd_sweep(args) -> int:
           f"{args.cycles:,} cycles each\n")
     registry, finish_metrics = _metrics_session(args, command="sweep")
     executor = _executor_from(args, metrics=registry)
-    jobs = [SweepJob.build(name, pair, args.cycles)
+    jobs = [SweepJob.build(name, pair, args.cycles, kwargs=_job_kwargs(args))
             for name in args.policies for pair in pairs]
     results = executor.run(jobs)
     stats = {}
@@ -595,6 +634,12 @@ def cmd_bench(args) -> int:
 
 def main(argv: Sequence[str] = None) -> int:
     args = _parser().parse_args(argv)
+    backend = getattr(args, "kernel_backend", None)
+    if backend is not None:
+        # Process-wide default for every system this command constructs,
+        # plus the environment variable so spawned pool workers inherit it.
+        set_default_kernel_backend(backend)
+        os.environ["REPRO_KERNEL_BACKEND"] = backend
     handlers = {
         "catalog": cmd_catalog,
         "run": cmd_run,

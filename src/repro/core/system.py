@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.slices import PartitionState, ResourceAllocation
 from repro.errors import ConfigError, SimulationError
+from repro.fastpath import resolve_kernel_backend
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
 from repro.gpu.performance import PerformanceModel, SliceThroughput
@@ -226,6 +227,7 @@ class MultitaskSystem:
         max_slots: Optional[int] = None,
         metrics=None,
         profiler=None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         """``total_memory_bytes`` enables memory-oversubscription modelling
         (paper Sections 3.2 and 5): each slice's capacity is proportional
@@ -257,7 +259,14 @@ class MultitaskSystem:
         Stored as :attr:`phase_profiler` — the plain ``profiler``
         attribute stays delegated to the composed policy's epoch-counter
         :class:`~repro.core.profiler.EpochProfiler` for backward
-        compatibility."""
+        compatibility.
+
+        ``kernel_backend`` selects the hot-loop implementation:
+        ``"scalar"`` (the pure-python golden oracle) or ``"numpy"`` (the
+        batched fast path in :mod:`repro.fastpath`, byte-identical to the
+        oracle).  ``None`` defers to :func:`resolve_kernel_backend`
+        (process override, then ``REPRO_KERNEL_BACKEND``, then
+        auto-detection)."""
         if policy is None:
             from repro.policies.base import PartitionPolicy
 
@@ -267,6 +276,10 @@ class MultitaskSystem:
             # their class-level policy_name.
             self.policy_name = policy.policy_name
         self.policy = policy
+        #: The batched epoch kernel (``None`` under the scalar backend).
+        #: Must exist before any policy hook can touch the partition.
+        self._fast = None
+        self.kernel_backend = resolve_kernel_backend(kernel_backend)
         self._open = arrivals is not None and len(arrivals) > 0
         if not applications and not self._open:
             raise ConfigError("need at least one application")
@@ -301,6 +314,12 @@ class MultitaskSystem:
             self._m_resident = _names.open_resident_jobs(metrics)
             self._m_stp = _names.policy_stp(metrics)
             self._m_antt = _names.policy_antt(metrics)
+            _memo_lookups = _names.perf_memo_lookups_total(metrics)
+            self._m_memo_hit = _memo_lookups.labels(outcome="hit")
+            self._m_memo_miss = _memo_lookups.labels(outcome="miss")
+            self._m_memo_entries = _names.perf_memo_entries(metrics)
+        self._memo_hits_seen = 0
+        self._memo_misses_seen = 0
         #: Cycle stamp for trace records emitted outside :meth:`_step`
         #: (e.g. QoS enforcement during construction happens at cycle 0).
         self._trace_now = 0
@@ -333,6 +352,10 @@ class MultitaskSystem:
             )
         self.max_slots = max_slots
         self.policy.on_start()
+        if self.kernel_backend == "numpy":
+            from repro.fastpath.epoch import FastEpochKernel
+
+            self._fast = FastEpochKernel(self)
 
     def __getattr__(self, name: str):
         # Compatibility: pre-refactor subclasses exposed policy state
@@ -385,6 +408,12 @@ class MultitaskSystem:
     # Epoch step
     # ------------------------------------------------------------------
     def _step(self, epoch_index: int, span: int) -> EpochResult:
+        if self._fast is not None:
+            return self._fast.step(epoch_index, span)
+        return self._step_scalar(epoch_index, span)
+
+    def _step_scalar(self, epoch_index: int, span: int) -> EpochResult:
+        """The golden-oracle epoch step (``kernel_backend="scalar"``)."""
         prof = self.phase_profiler
         if prof is not None:
             prof.begin("epoch")
@@ -456,15 +485,28 @@ class MultitaskSystem:
                 repartitioned=result.repartitioned,
             )
         if self.metrics is not None:
-            self._m_epochs.inc()
-            self._m_epoch_cycles.inc(span)
-            self._m_epoch_hist.observe(span)
-            self._m_instructions.inc(sum(instructions.values()))
-            self._m_stall.inc(result.migration_cycles)
-            self.metrics.epoch_boundary(epoch_index, result.end_cycle)
+            self._epoch_metrics(result, span, instructions)
         if prof is not None:
             prof.end("epoch")
         return result
+
+    def _epoch_metrics(self, result: EpochResult, span: int,
+                       instructions: Dict[int, int]) -> None:
+        """Per-epoch metrics updates (shared by both kernel backends)."""
+        self._m_epochs.inc()
+        self._m_epoch_cycles.inc(span)
+        self._m_epoch_hist.observe(span)
+        self._m_instructions.inc(sum(instructions.values()))
+        self._m_stall.inc(result.migration_cycles)
+        perf = self.perf
+        if perf.memo_hits != self._memo_hits_seen:
+            self._m_memo_hit.inc(perf.memo_hits - self._memo_hits_seen)
+            self._memo_hits_seen = perf.memo_hits
+        if perf.memo_misses != self._memo_misses_seen:
+            self._m_memo_miss.inc(perf.memo_misses - self._memo_misses_seen)
+            self._memo_misses_seen = perf.memo_misses
+        self._m_memo_entries.set(perf.memo_size)
+        self.metrics.epoch_boundary(result.index, result.end_cycle)
 
     # ------------------------------------------------------------------
     # Open-system lifecycle
@@ -540,7 +582,10 @@ class MultitaskSystem:
         if self._open:
             return self._run_open(total_cycles, mix_name)
         runner = EpochRunner(self.epoch_cycles)
-        epochs = runner.run(self._step, total_cycles)
+        if self._fast is not None:
+            epochs = self._fast.drive(runner, total_cycles)
+        else:
+            epochs = runner.run(self._step_scalar, total_cycles)
         alone = self.alone_ipcs(total_cycles)
         runs = []
         for state in self.apps.values():
@@ -568,7 +613,8 @@ class MultitaskSystem:
     def _run_open(self, total_cycles: int,
                   mix_name: Optional[str]) -> OpenSystemResult:
         runner = EpochRunner(self.epoch_cycles)
-        epochs = runner.run(self._step, total_cycles, stop_when=self._drained)
+        step = self._fast.step if self._fast is not None else self._step_scalar
+        epochs = runner.run(step, total_cycles, stop_when=self._drained)
         runs = []
         for state in self._admitted_order:
             if state.depart_cycle is None and state.admit_cycle >= total_cycles:
@@ -604,7 +650,8 @@ class MultitaskSystem:
             admissions=self.admissions,
             departures=self.departures,
             provenance=collect_provenance(
-                self.config, policy=self.policy_name
+                self.config, policy=self.policy_name,
+                kernel_backend=self.kernel_backend,
             ),
         )
         self._finish_metrics(result)
@@ -619,6 +666,16 @@ class MultitaskSystem:
             from repro.telemetry import names as _names
 
             _names.trace_dropped_events(self.metrics).set(dropped)
+        # Flush memo-lookup deltas accrued outside the epoch loop (the
+        # solo-IPC denominators run after the last epoch).
+        perf = self.perf
+        if perf.memo_hits != self._memo_hits_seen:
+            self._m_memo_hit.inc(perf.memo_hits - self._memo_hits_seen)
+            self._memo_hits_seen = perf.memo_hits
+        if perf.memo_misses != self._memo_misses_seen:
+            self._m_memo_miss.inc(perf.memo_misses - self._memo_misses_seen)
+            self._memo_misses_seen = perf.memo_misses
+        self._m_memo_entries.set(perf.memo_size)
         if not result.runs:
             return
         self._m_stp.labels(policy=self.policy_name).set(result.stp)
@@ -680,26 +737,30 @@ class MultitaskSystem:
         prof = self.phase_profiler
         if prof is not None:
             prof.begin("run.solo_ipc")
-        solo = app.clone()
-        instructions = 0
-        elapsed = 0
-        while elapsed < total_cycles:
-            span = min(self.epoch_cycles, total_cycles - elapsed)
-            t = self.perf.throughput(
-                solo.current_kernel, self.config.num_sms, self.config.num_channels
-            )
-            factor = 1.0
-            if self.fault_model is not None:
-                charge = self.fault_model.charge(
-                    solo.footprint_bytes,
-                    float(self.total_memory_bytes),
-                    t.dram_bytes_per_cycle,
+        if self._fast is not None:
+            instructions = self._fast.solo_instructions(app, total_cycles)
+        else:
+            solo = app.clone()
+            instructions = 0
+            elapsed = 0
+            while elapsed < total_cycles:
+                span = min(self.epoch_cycles, total_cycles - elapsed)
+                t = self.perf.throughput(
+                    solo.current_kernel, self.config.num_sms,
+                    self.config.num_channels
                 )
-                factor = charge.throughput_factor
-            retired = int(t.ipc * span * factor)
-            solo.advance(retired)
-            instructions += retired
-            elapsed += span
+                factor = 1.0
+                if self.fault_model is not None:
+                    charge = self.fault_model.charge(
+                        solo.footprint_bytes,
+                        float(self.total_memory_bytes),
+                        t.dram_bytes_per_cycle,
+                    )
+                    factor = charge.throughput_factor
+                retired = int(t.ipc * span * factor)
+                solo.advance(retired)
+                instructions += retired
+                elapsed += span
         if instructions <= 0:
             raise SimulationError(
                 f"{app.name}: solo run retired no instructions"
@@ -719,12 +780,16 @@ class MultitaskSystem:
         previous = self.apps[app_id].allocation
         self.partition.assign(app_id, allocation)
         self.apps[app_id].allocation = allocation
+        if self._fast is not None:
+            self._fast.partition_changed()
         return previous
 
     def apply_partition(self, allocations: Mapping[int, ResourceAllocation]) -> None:
         self.partition.assign_all(dict(allocations))
         for app_id, allocation in allocations.items():
             self.apps[app_id].allocation = allocation
+        if self._fast is not None:
+            self._fast.partition_changed()
 
     def replace_partition(self, partition: PartitionState) -> None:
         """Swap in a freshly constructed partition (MPS membership
@@ -733,6 +798,8 @@ class MultitaskSystem:
         self.partition = partition
         for app_id, state in self.apps.items():
             state.allocation = partition.allocation(app_id)
+        if self._fast is not None:
+            self._fast.partition_changed()
 
     def add_penalty(self, app_id: int, window_cycles: float, factor: float,
                     counts_as_migration: bool = True) -> None:

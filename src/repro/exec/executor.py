@@ -29,6 +29,7 @@ from repro.errors import ConfigError
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SweepJob, execute_job_timed
 from repro.exec.stats import ExecStats
+from repro.fastpath import resolve_kernel_backend
 
 
 class SweepExecutor:
@@ -59,6 +60,18 @@ class SweepExecutor:
         """Execute every job; results are returned in job order."""
         start = time.perf_counter()
         stats = ExecStats(jobs_total=len(sweep_jobs), workers=self.jobs)
+        # Record the backend the jobs resolve to, so timing footers flag
+        # cross-backend comparisons; a job kwarg overrides the process
+        # default, and disagreeing jobs mark the whole run "mixed".
+        default_backend = resolve_kernel_backend()
+        backends = {
+            str(dict(job.kwargs).get("kernel_backend") or default_backend)
+            for job in sweep_jobs
+        }
+        stats.kernel_backend = (
+            backends.pop() if len(backends) == 1 else
+            "mixed" if backends else default_backend
+        )
         results: List[Optional[SystemResult]] = [None] * len(sweep_jobs)
 
         pending: List[int] = []

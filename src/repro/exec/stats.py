@@ -34,6 +34,10 @@ class ExecStats:
     wall_seconds: float = 0.0
     workers: int = 1
     job_seconds: List[float] = field(default_factory=list)
+    #: Kernel backend the jobs ran under ("scalar"/"numpy"); "mixed" when
+    #: merged runs disagree, "" when no run recorded one.  Timings from
+    #: different backends are not comparable, so the footer surfaces it.
+    kernel_backend: str = ""
 
     @property
     def p50_seconds(self) -> float:
@@ -80,6 +84,11 @@ class ExecStats:
         self.wall_seconds += other.wall_seconds
         self.workers = max(self.workers, other.workers)
         self.job_seconds.extend(other.job_seconds)
+        if other.kernel_backend:
+            if not self.kernel_backend:
+                self.kernel_backend = other.kernel_backend
+            elif self.kernel_backend != other.kernel_backend:
+                self.kernel_backend = "mixed"
         return self
 
     def format(self) -> str:
@@ -91,6 +100,8 @@ class ExecStats:
             f"workers {self.workers}",
             f"wall {self.wall_seconds:.2f}s",
         ]
+        if self.kernel_backend:
+            parts.append(f"backend {self.kernel_backend}")
         if self.job_seconds:
             parts.append(
                 f"per-job min {self.min_seconds * 1e3:.1f}ms "

@@ -121,6 +121,41 @@ class CounterBank:
         ticks, self._byte_residue = divmod(self._byte_residue, self.scale)
         self.dram_bytes.increment(ticks)
 
+    def count_epoch_events(self, instructions: int, misses: int, hits: int,
+                           dram_bytes: int) -> None:
+        """One epoch's aggregate counts in a single call.
+
+        Exactly equivalent to ``count_instructions(instructions)`` +
+        ``count_llc_access(misses, hit=False)`` +
+        ``count_llc_access(hits, hit=True)`` +
+        ``count_dram_bytes(dram_bytes)``: splitting a residue update in
+        two yields the same total ticks and final residue as one combined
+        ``divmod``, and consecutive non-negative increments compose for
+        both saturating and wrapping counters.
+        """
+        if instructions < 0 or misses < 0 or hits < 0 or dram_bytes < 0:
+            raise ConfigError("counters only count forward")
+        scale = self.scale
+        # Increments inlined (all four counters are saturating).
+        counter = self.instructions
+        raw = counter._value + instructions
+        counter._value = raw if raw <= counter._max else counter._max
+        self._access_residue += misses + hits
+        ticks, self._access_residue = divmod(self._access_residue, scale)
+        counter = self.llc_accesses
+        raw = counter._value + ticks
+        counter._value = raw if raw <= counter._max else counter._max
+        self._hit_residue += hits
+        ticks, self._hit_residue = divmod(self._hit_residue, scale)
+        counter = self.llc_hits
+        raw = counter._value + ticks
+        counter._value = raw if raw <= counter._max else counter._max
+        self._byte_residue += dram_bytes
+        ticks, self._byte_residue = divmod(self._byte_residue, scale)
+        counter = self.dram_bytes
+        raw = counter._value + ticks
+        counter._value = raw if raw <= counter._max else counter._max
+
     def snapshot(self) -> CounterSnapshot:
         """Epoch-boundary read-and-reset of the whole bank."""
         return CounterSnapshot(

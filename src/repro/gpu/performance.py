@@ -20,8 +20,9 @@ latency (the compute roofline drops below the bandwidth one).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -74,9 +75,19 @@ class SliceThroughput:
 class PerformanceModel:
     """Evaluate kernels on arbitrary (SMs, channels) slices."""
 
-    def __init__(self, config: Optional[GPUConfig] = None) -> None:
+    #: Default LRU bound on the throughput memo: comfortably above
+    #: (#kernels x #distinct slice shapes) for any single run, small
+    #: enough that a long sweep over thousands of kernels cannot grow
+    #: the memo without bound.
+    DEFAULT_MEMO_CAPACITY = 65_536
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 memo_capacity: int = DEFAULT_MEMO_CAPACITY) -> None:
         config = config if config is not None else GPUConfig()
         config.validate()
+        if memo_capacity < 1:
+            raise ConfigError(
+                f"memo_capacity must be >= 1, got {memo_capacity}")
         self.config = config
         # throughput() is pure in (kernel, sms, channels) for a fixed
         # config, and the epoch loop re-evaluates the same slice for
@@ -84,8 +95,35 @@ class PerformanceModel:
         # (hashable) dataclass and SliceThroughput is frozen, so shared
         # results are safe.  Keyed by the kernel object itself — the dict
         # holds a reference, so ids cannot be recycled under us — and
-        # bounded by (#kernels x #distinct slice shapes) per model.
-        self._throughput_memo: dict = {}
+        # LRU-bounded so arbitrarily long sweeps stay at fixed memory.
+        self._throughput_memo: "OrderedDict" = OrderedDict()
+        self._memo_capacity = memo_capacity
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # ------------------------------------------------------------------
+    # Memo management
+    # ------------------------------------------------------------------
+    @property
+    def memo_size(self) -> int:
+        """Entries currently held by the throughput memo."""
+        return len(self._throughput_memo)
+
+    def clear_memo(self) -> None:
+        """Drop every memoized throughput.
+
+        Must be called whenever ``self.config`` is mutated in place
+        (memoized results would otherwise reflect the old parameters);
+        the hit/miss counters survive so telemetry stays cumulative.
+        """
+        self._throughput_memo.clear()
+
+    def _memo_store(self, key, result: SliceThroughput) -> SliceThroughput:
+        memo = self._throughput_memo
+        memo[key] = result
+        if len(memo) > self._memo_capacity:
+            memo.popitem(last=False)
+        return result
 
     # ------------------------------------------------------------------
     # Equation 1: per-slice bandwidth demand
@@ -125,9 +163,13 @@ class PerformanceModel:
     def throughput(self, kernel: Kernel, num_sms: int, num_channels: int) -> SliceThroughput:
         """Kernel throughput on a slice of (num_sms, num_channels)."""
         key = (kernel, num_sms, num_channels)
-        cached = self._throughput_memo.get(key)
+        memo = self._throughput_memo
+        cached = memo.get(key)
         if cached is not None:
+            self.memo_hits += 1
+            memo.move_to_end(key)
             return cached
+        self.memo_misses += 1
         if num_sms < 0 or num_channels < 0:
             raise ConfigError("slice sizes must be non-negative")
         cfg = self.config
@@ -152,7 +194,7 @@ class PerformanceModel:
         ipc = min(compute_roof, bandwidth_roof, mlp_roof)
         if num_sms == 0 or (num_channels == 0 and bytes_per_instr > 0):
             ipc = 0.0
-        result = self._throughput_memo[key] = SliceThroughput(
+        return self._memo_store(key, SliceThroughput(
             ipc=ipc,
             compute_roof=compute_roof,
             bandwidth_roof=bandwidth_roof,
@@ -161,8 +203,19 @@ class PerformanceModel:
             supply_bytes_per_cycle=supply,
             dram_bytes_per_cycle=ipc * bytes_per_instr * (1.0 - hit),
             llc_hit_rate=hit,
-        )
-        return result
+        ))
+
+    def throughput_batch(self, kernels: Sequence[Kernel],
+                         sms: Sequence[int],
+                         channels: Sequence[int]) -> List[SliceThroughput]:
+        """Vectorized :meth:`throughput` over a batch of slices.
+
+        Bit-identical to calling :meth:`throughput` per element (the
+        numpy kernel backend relies on this); requires numpy.
+        """
+        from repro.fastpath.batch import compute_batch
+
+        return compute_batch(self, kernels, sms, channels)
 
     def alone_ipc(self, kernel: Kernel) -> float:
         """IPC with the whole GPU (the :math:`IPC^{alone}` of Equations

@@ -186,24 +186,43 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def _pick(self) -> MemoryRequest:
-        """FR-FCFS selection among queued requests that have arrived."""
-        arrived = [r for r in self.queue if r.arrival <= self.now]
-        candidates = arrived if arrived else self.queue
-        hits = [
-            r
-            for r in candidates
-            if self.channel.groups[r.bank_group].bank(r.bank).is_row_open(r.row)
-        ]
-        pool = hits if hits else candidates
-        return min(pool, key=lambda r: (r.arrival, self.queue.index(r)))
+    def _pick(self) -> int:
+        """FR-FCFS selection among queued requests that have arrived.
+
+        Returns the queue index of the winner.  One pass tracks the best
+        (earliest arrival, then earliest queue position) request in each
+        of the four priority classes — arrived row-hit, arrived, pending
+        row-hit, pending — instead of materializing candidate lists and
+        re-scanning the queue for positions, which made selection
+        quadratic in the queue depth.
+        """
+        now = self.now
+        groups = self.channel.groups
+        arrived_hit = arrived_any = pending_hit = pending_any = -1
+        arrived_hit_t = arrived_any_t = pending_hit_t = pending_any_t = 0
+        for i, r in enumerate(self.queue):
+            arrival = r.arrival
+            hit = groups[r.bank_group].bank(r.bank).is_row_open(r.row)
+            if arrival <= now:
+                if hit and (arrived_hit < 0 or arrival < arrived_hit_t):
+                    arrived_hit, arrived_hit_t = i, arrival
+                if arrived_any < 0 or arrival < arrived_any_t:
+                    arrived_any, arrived_any_t = i, arrival
+            elif arrived_any < 0:
+                # Pending classes only matter while nothing has arrived.
+                if hit and (pending_hit < 0 or arrival < pending_hit_t):
+                    pending_hit, pending_hit_t = i, arrival
+                if pending_any < 0 or arrival < pending_any_t:
+                    pending_any, pending_any_t = i, arrival
+        if arrived_any >= 0:
+            return arrived_hit if arrived_hit >= 0 else arrived_any
+        return pending_hit if pending_hit >= 0 else pending_any
 
     def service_one(self) -> MemoryRequest:
         """Serve the next request per FR-FCFS; returns it completed."""
         if not self.queue:
             raise ProtocolError("controller queue is empty")
-        request = self._pick()
-        self.queue.remove(request)
+        request = self.queue.pop(self._pick())
         self.now = max(self.now, request.arrival)
         self._maybe_refresh()
 

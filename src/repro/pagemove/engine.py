@@ -18,9 +18,11 @@ engine:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import MigrationError, ProtocolError
+from repro.fastpath import resolve_kernel_backend
 from repro.hbm.commands import activate, migration, precharge
 from repro.hbm.system import HBMSystem
 from repro.pagemove.address_mapping import PageMoveAddressMapping
@@ -28,6 +30,35 @@ from repro.pagemove.cost import MigrationCharge, MigrationCostModel, MigrationMo
 from repro.vm.channel_registry import ChannelStatusRegister
 from repro.vm.driver import FaultKind, GPUDriver
 from repro.vm.tlb import TLB
+
+#: Retries granted to one MIGRATION command waiting for a narrow (stock)
+#: crossbar route to free before the command-level replay gives up.
+CROSSBAR_RETRY_LIMIT = 256
+
+#: Page count above which the round-robin destination assignment is worth
+#: computing as one vectorized modular arange instead of a python loop.
+_VECTOR_THRESHOLD = 64
+
+
+def _round_robin_destinations(kept: Sequence[int], start: int, count: int) -> List[int]:
+    """Destination channels for ``count`` pages round-robined over
+    ``kept``, continuing from offset ``start``.
+
+    Under the numpy backend large batches collapse to a single modular
+    ``arange`` gather; the scalar walk ``kept[(start + i) % len(kept)]``
+    is the oracle.  Destinations are exact integers either way
+    (``.tolist()`` yields python ints), so the backends agree bit-for-bit.
+    """
+    n = len(kept)
+    if n == 1:
+        return [kept[0]] * count
+    if count >= _VECTOR_THRESHOLD and resolve_kernel_backend() == "numpy":
+        import numpy as np
+
+        return np.asarray(kept, dtype=np.int64)[
+            (start + np.arange(count, dtype=np.int64)) % n
+        ].tolist()
+    return [kept[(start + i) % n] for i in range(count)]
 
 
 @dataclass(frozen=True)
@@ -159,14 +190,20 @@ class MigrationEngine:
 
         kept = sorted(old & new) or sorted(new)
         # Eager: vacate lost channels, round-robin over surviving channels.
+        # The per-page destination is a pure function of the page's ordinal,
+        # so the whole channel's assignment is computed in one batch.
+        eager = plan.eager
         rr = 0
         for channel in sorted(old - new):
-            for vpn, entry in table.pages_in_channel(channel):
-                dst = kept[rr % len(kept)]
-                rr += 1
-                plan.eager.append(
-                    PageMigration(app_id, vpn, src_channel=channel, dst_channel=dst)
-                )
+            vpns = [vpn for vpn, _ in table.pages_in_channel(channel)]
+            if not vpns:
+                continue
+            dsts = _round_robin_destinations(kept, rr, len(vpns))
+            eager.extend(
+                PageMigration(app_id, vpn, src_channel=channel, dst_channel=dst)
+                for vpn, dst in zip(vpns, dsts)
+            )
+            rr += len(vpns)
 
         # Lazy: move pages toward the gained channels until balanced.
         gained = sorted(new - old)
@@ -185,9 +222,31 @@ class MigrationEngine:
             # balance target, never the full target, or back-to-back
             # reallocations over-migrate into partially filled channels.
             need = {g: max(0, target - counts.get(g, 0)) for g in gained}
+            lazy = plan.lazy
+            single = gained[0] if len(gained) == 1 else None
             for donor in donors:
                 surplus = counts.get(donor, 0) - target
                 if surplus <= 0:
+                    continue
+                if single is not None:
+                    # Bulk fast path: with one gained channel every page
+                    # shares a destination, so the per-page max()/decrement
+                    # walk collapses to a single sliced take.  Once need or
+                    # budget hits zero no later donor can contribute either.
+                    take = min(surplus, need[single])
+                    if budget is not None:
+                        take = min(take, budget)
+                    if take <= 0:
+                        break
+                    lazy.extend(
+                        PageMigration(
+                            app_id, vpn, src_channel=donor, dst_channel=single
+                        )
+                        for vpn, _ in islice(table.pages_in_channel(donor), take)
+                    )
+                    need[single] -= take
+                    if budget is not None:
+                        budget -= take
                     continue
                 for vpn, entry in table.pages_in_channel(donor):
                     if surplus <= 0:
@@ -197,7 +256,7 @@ class MigrationEngine:
                         break
                     if budget is not None and budget <= 0:
                         break
-                    plan.lazy.append(
+                    lazy.append(
                         PageMigration(app_id, vpn, src_channel=donor, dst_channel=dst)
                     )
                     need[dst] -= 1
@@ -312,18 +371,22 @@ class MigrationEngine:
                 )
 
     def _move_pages(self, migrations: List[PageMigration], kind: FaultKind) -> int:
+        if not migrations:
+            return 0
         invalidated = 0
+        tables = self.driver.page_tables
+        invalidate = self.l2_tlb.invalidate
+        handle_fault = self.driver.handle_fault
         for move in migrations:
-            table = self.driver.page_tables[move.app_id]
-            entry = table.lookup(move.vpn)
+            entry = tables[move.app_id].lookup(move.vpn)
             if entry is None or entry.channel != move.src_channel:
                 raise MigrationError(
                     f"stale plan: vpn {move.vpn:#x} not resident in channel "
                     f"{move.src_channel}"
                 )
-            if self.l2_tlb.invalidate(move.app_id, move.vpn):
+            if invalidate(move.app_id, move.vpn):
                 invalidated += 1
-            self.driver.handle_fault(
+            handle_fault(
                 kind, move.app_id, move.vpn, target_channel=move.dst_channel
             )
         return invalidated
@@ -399,7 +462,7 @@ class MigrationEngine:
                     # A narrow (stock) crossbar may reject the route; wait
                     # for it to free and retry — this is exactly the
                     # serialization PageMove's 4x8 crossbar removes.
-                    for _ in range(256):
+                    for _ in range(CROSSBAR_RETRY_LIMIT):
                         try:
                             group_time[group] = stack.issue_migration(
                                 coords.channel, cmd, t
@@ -409,7 +472,12 @@ class MigrationEngine:
                         except ProtocolError:
                             t += cfg.timing.tMIG // 4
                     else:  # pragma: no cover - defensive
-                        raise MigrationError("crossbar never freed")
+                        raise RuntimeError(
+                            f"crossbar route {coords.channel}->{dst_channel} "
+                            f"(stack {stack_idx}, bank group {group}) did not "
+                            f"free after {CROSSBAR_RETRY_LIMIT} retries; the "
+                            "migration replay is not converging"
+                        )
             done = max(done, max(group_time.values()))
         if self.metrics is not None:
             self._m_commands.inc(commands_issued)

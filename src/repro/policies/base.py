@@ -68,6 +68,25 @@ class PartitionPolicy:
 
     policy_name = "base"
 
+    #: What the value of :meth:`throughput_for` may depend on — the
+    #: contract the numpy kernel backend's caching relies on
+    #: (see :class:`repro.fastpath.epoch.FastEpochKernel`):
+    #:
+    #: * ``"slice"`` — only on the app's current kernel and its own
+    #:   ``ResourceAllocation``; any side effects go through
+    #:   :meth:`observe_throughput`.  This is the base contract:
+    #:   ``throughput_for`` is exactly ``slice_throughput`` plus the
+    #:   observe hook.
+    #: * ``"resident-set"`` — additionally on the *other* residents'
+    #:   kernels and allocations (MPS-style contention), but on nothing
+    #:   else.
+    #: * ``"stateful"`` — anything; the fast path calls the hook every
+    #:   epoch, exactly like the scalar loop.
+    #:
+    #: A subclass that overrides :meth:`throughput_for` without
+    #: re-declaring this attribute is treated as ``"stateful"``.
+    throughput_dependence = "slice"
+
     #: Penalty charged to every resident when membership changes: the
     #: partition is redrawn, so caches/TLBs flush and refill exactly as
     #: after a UGPU repartition (Section 4.4's coherence step).
@@ -107,8 +126,20 @@ class PartitionPolicy:
         )
 
     def throughput_for(self, state: "AppState") -> "SliceThroughput":
-        """Default: the isolated-slice roofline evaluation."""
-        return self.runner.slice_throughput(state)
+        """Default: the isolated-slice roofline evaluation, then the
+        observe hook (so ``"slice"`` policies only override the hook)."""
+        throughput = self.runner.slice_throughput(state)
+        self.observe_throughput(state, throughput)
+        return throughput
+
+    def observe_throughput(
+        self, state: "AppState", throughput: "SliceThroughput"
+    ) -> None:
+        """Side-effect hook fed once per app per epoch with the slice
+        throughput (UGPU/CD-Search accumulate profiler counters here).
+        Under the ``"slice"`` contract this is the *only* way
+        ``throughput_for`` may touch policy state — the fast path calls
+        it even when the throughput itself came from a cache."""
 
     def on_epoch_end(self, epoch_index: int, span: int) -> None:
         """Static policies do nothing at the boundary."""

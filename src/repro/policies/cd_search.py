@@ -35,6 +35,9 @@ class CDSearchPolicy(PartitionPolicy):
                  tb_duration_cycles: float = 200_000.0) -> None:
         self._sm_step = sm_step
         self.tb_duration_cycles = tb_duration_cycles
+        #: Throughputs recorded by :meth:`observe_throughput` during the
+        #: epoch, consumed (per app) at the next boundary.
+        self._pending_throughput: dict = {}
 
     def on_start(self) -> None:
         runner = self.runner
@@ -51,16 +54,25 @@ class CDSearchPolicy(PartitionPolicy):
         self.sm_reallocator = SMReallocator(runner.config)
         self.algorithm_cost = AlgorithmCostModel()
 
-    def throughput_for(self, state: "AppState"):
-        throughput = self.runner.slice_throughput(state)
-        self.profiler.observe_epoch(
-            state.app_id, throughput, self.runner.epoch_cycles
-        )
-        return throughput
+    def observe_throughput(self, state: "AppState", throughput) -> None:
+        # Record only; counters are fed at the boundary through the
+        # profiler's fused observe-and-profile pipeline (banks are
+        # per-app, so the deferral is unobservable).
+        self._pending_throughput[state.app_id] = throughput
 
     def on_epoch_end(self, epoch_index: int, span: int) -> None:
         runner = self.runner
-        profiles = {a: self.profiler.profile(a) for a in runner.apps}
+        pending = self._pending_throughput
+        epoch_cycles = runner.epoch_cycles
+        profiles = {}
+        for a in runner.apps:
+            throughput = pending.get(a)
+            if throughput is not None:
+                profiles[a] = self.profiler.observe_and_profile(
+                    a, throughput, epoch_cycles
+                )
+            else:
+                profiles[a] = self.profiler.profile(a)
         previous = {a: s.allocation for a, s in runner.apps.items()}
         decision = self.partitioner.compute(profiles)
         # CD-Search moves SMs only: restore every channel allocation.

@@ -31,6 +31,10 @@ class MPSPolicy(PartitionPolicy):
 
     policy_name = "MPS"
 
+    #: The shared-memory contention factor depends on every resident's
+    #: current kernel (see :attr:`PartitionPolicy.throughput_dependence`).
+    throughput_dependence = "resident-set"
+
     def __init__(self, sm_assignment: Optional[Dict[int, int]] = None,
                  contention_overhead: float = 0.18) -> None:
         """``sm_assignment`` fixes per-app SM counts (the paper's offline

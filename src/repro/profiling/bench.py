@@ -17,6 +17,7 @@ The emitted artifact is a schema-versioned JSON document::
     {
       "schema": "repro.bench/1",
       "repeats": 3,
+      "kernel_backend": "numpy",
       "provenance": {"git_sha": ..., "config_hash": ..., ...},
       "scenarios": {
         "closed_ugpu": {"description": ..., "seconds": [...],
@@ -30,6 +31,9 @@ written as ``BENCH_<git-sha>.json`` so a directory of artifacts reads as
 a perf trajectory.  ``meta`` carries deterministic per-scenario counts
 (epochs, repartitions, faults...) — if those drift between two BENCH
 files, the comparison is apples to oranges and the compare layer says so.
+The document-level ``kernel_backend`` records which simulation backend
+(scalar oracle or numpy fast path) produced the times; the compare layer
+likewise refuses to gate across backends.
 """
 
 from __future__ import annotations
@@ -260,6 +264,7 @@ def run_bench(
     synthetic scenarios); ``progress`` receives one line per finished
     scenario.
     """
+    from repro.fastpath import resolve_kernel_backend
     from repro.telemetry.provenance import collect_provenance
 
     if repeats < 1:
@@ -275,6 +280,7 @@ def run_bench(
     doc: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "repeats": repeats,
+        "kernel_backend": resolve_kernel_backend(),
         "provenance": collect_provenance(command="bench"),
         "scenarios": {},
     }

@@ -313,6 +313,26 @@ def exec_wall_seconds_total(reg: MetricsRegistry):
     return reg.counter(EXEC_WALL_SECONDS_TOTAL, "End-to-end sweep wall seconds.")
 
 
+# ------------------------------------------------------------ perf-model memo
+PERF_MEMO_LOOKUPS_TOTAL = "repro_perf_memo_lookups_total"
+PERF_MEMO_ENTRIES = "repro_perf_memo_entries"
+
+
+def perf_memo_lookups_total(reg: MetricsRegistry):
+    return reg.counter(
+        PERF_MEMO_LOOKUPS_TOTAL,
+        "Throughput-memo lookups by outcome (hit / miss).",
+        labels=("outcome",),
+    )
+
+
+def perf_memo_entries(reg: MetricsRegistry):
+    return reg.gauge(
+        PERF_MEMO_ENTRIES,
+        "Entries held by the LRU-bounded throughput memo.",
+    )
+
+
 # ---------------------------------------------------------------------- trace
 TRACE_DROPPED_EVENTS = "repro_trace_dropped_events"
 

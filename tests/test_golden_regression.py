@@ -9,6 +9,11 @@ must reproduce those results byte-for-byte.
 BP-BS / BP-SB are defined for exactly two applications, so the
 four-program mix covers the other seven policies only — matching the
 capture.
+
+Every fixture is asserted under *both* kernel backends: the scalar
+oracle and (when numpy is importable) the vectorized fast path, which
+must reproduce the same bytes — that is the fast path's correctness
+contract.
 """
 
 import json
@@ -16,8 +21,12 @@ import os
 
 import pytest
 
+from repro.core.system import clear_solo_ipc_cache
 from repro.exec.registry import resolve_policy
+from repro.fastpath import numpy_available
 from repro.workloads.mixes import build_mix
+
+BACKENDS = ["scalar"] + (["numpy"] if numpy_available() else [])
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "system_results.json")
@@ -35,12 +44,18 @@ def _load_golden():
 GOLDEN = _load_golden()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_policy_reproduces_golden_result(key):
+def test_policy_reproduces_golden_result(key, backend):
     policy, mix_name = key.split(":")
     want = GOLDEN[key]
     apps = build_mix(MIXES[mix_name]).applications
-    result = resolve_policy(policy)(apps).run(mix_name=mix_name)
+    # The solo-IPC memo is process-wide; clear it so this backend, not a
+    # previously parametrized one, computes the values being asserted.
+    clear_solo_ipc_cache()
+    result = resolve_policy(policy)(
+        apps, kernel_backend=backend
+    ).run(mix_name=mix_name)
 
     assert result.policy == want["policy"]
     assert result.mix_name == want["mix_name"]

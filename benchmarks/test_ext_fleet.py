@@ -1,0 +1,94 @@
+"""Extension E3 — fleet-scale placement under arrival/departure dynamics.
+
+The papers the placement zoo is grounded in evaluate at datacenter
+scale: hundreds of accelerators, thousands of arriving/departing jobs.
+This bench runs that scenario — a 200-node fleet, ~10k jobs from one
+seeded Poisson stream — under every placement policy, and checks the
+orderings the source papers report:
+
+* fragmentation-aware packing (Ting et al.) strands no more slots than
+  class-blind first-fit;
+* the consolidating manager (Saraha et al.) concentrates load on fewer
+  active nodes, which is where its energy saving comes from;
+* sharding node execution over worker processes is byte-identical to the
+  serial run (the tentpole invariant, at acceptance scale).
+"""
+
+import pytest
+from conftest import print_series
+
+from repro.cluster import FleetSimulator, PlacementPolicy
+from repro.exec import SweepExecutor
+from repro.workloads import poisson_arrivals
+
+#: ~10k jobs over the horizon: 400M cycles / 40k mean inter-arrival.
+FLEET_NODES = 200
+FLEET_HORIZON = 400_000_000
+MEAN_INTERARRIVAL = 40_000
+ROUND = 2_500_000
+IPK = 50_000_000
+
+
+def fleet_schedule():
+    return poisson_arrivals(MEAN_INTERARRIVAL, FLEET_HORIZON, seed=0,
+                            instructions_per_kernel=IPK)
+
+
+def run_fleet(placement, executor=None, schedule=None):
+    return FleetSimulator(
+        FLEET_NODES,
+        schedule if schedule is not None else fleet_schedule(),
+        placement,
+        round_cycles=ROUND,
+        horizon_cycles=FLEET_HORIZON,
+        instructions_per_kernel=IPK,
+        executor=executor,
+    ).run()
+
+
+def test_fleet_policy_shootout(benchmark):
+    schedule = fleet_schedule()
+    assert len(schedule) > 9_000  # genuinely fleet-scale
+
+    def shootout():
+        return {
+            policy: run_fleet(policy, schedule=schedule)
+            for policy in PlacementPolicy
+        }
+
+    results = benchmark.pedantic(shootout, rounds=1, iterations=1)
+    print_series(
+        "fleet: 200 nodes, ~10k jobs, one seeded stream",
+        [("policy", "stp", "antt", "frag", "active", "energy_J")] + [
+            (p.value, round(r.stp, 3), round(r.antt, 3),
+             round(r.fragmentation, 4), round(r.mean_active_nodes, 1),
+             round(r.energy.total, 1) if r.energy else "-")
+            for p, r in results.items()
+        ],
+    )
+    for result in results.values():
+        assert result.departures > 9_000    # the fleet keeps up
+    frag_aware = results[PlacementPolicy.FRAG_AWARE]
+    first_fit = results[PlacementPolicy.FIRST_FIT]
+    consolidate = results[PlacementPolicy.CONSOLIDATE]
+    assert frag_aware.fragmentation <= first_fit.fragmentation * 1.001
+    assert consolidate.mean_active_nodes <= first_fit.mean_active_nodes
+    assert consolidate.energy is not None and consolidate.energy.total > 0
+
+
+def test_fleet_sharded_matches_serial_at_scale(benchmark):
+    """Acceptance: the 200-node/10k-job run completes sharded over a
+    persistent worker pool byte-identical to the serial run."""
+    schedule = fleet_schedule()
+    serial = run_fleet(PlacementPolicy.CONSOLIDATE, schedule=schedule)
+
+    def sharded_run():
+        with SweepExecutor(jobs=2) as executor:
+            return run_fleet(PlacementPolicy.CONSOLIDATE, executor=executor,
+                             schedule=schedule)
+
+    sharded = benchmark.pedantic(sharded_run, rounds=1, iterations=1)
+    assert sharded.runs == serial.runs
+    assert sharded.summary() == serial.summary()
+    assert sharded.energy == serial.energy
+    assert sharded.shard_runs > serial.shard_runs  # it really fanned out

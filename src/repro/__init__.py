@@ -32,6 +32,12 @@ paper-versus-measured record of every table and figure.
 
 import warnings as _warnings
 
+# Defined before any submodule import: the exec job specs and the fleet
+# shard jobs fold the package version into their cache keys, so their
+# modules do ``from repro import __version__`` while this package is
+# still initializing.
+__version__ = "1.1.0"
+
 from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
 from repro.core import (
     AlgorithmCostModel,
@@ -99,10 +105,6 @@ from repro.workloads import (
     poisson_arrivals,
 )
 
-__version__ = "1.1.0"
-
-# Imported after __version__: the exec job specs fold the package version
-# into their cache keys.
 from repro.exec import (  # noqa: E402
     ExecStats,
     ResultCache,

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --policies bp ugpu --jobs 8   # process-pool fan-out
     python -m repro qos --target 0.75             # Figure 16 scenario
     python -m repro arrivals --seed 0             # open-system Poisson run
+    python -m repro fleet --nodes 200 --jobs 8    # fleet placement shoot-out
     python -m repro trace --mix PVC,DXTC          # timeline -> JSONL + Perfetto
     python -m repro metrics trace.jsonl           # trace -> Prometheus metrics
     python -m repro profile --scenario arrivals   # self-profile: hot phases
@@ -21,6 +22,12 @@ results are memoized under ``--cache-dir`` (default
 invocations cost near-zero; ``--no-cache`` forces fresh simulation.
 An ``ExecStats`` footer reports jobs run, cache hits, wall-clock and the
 kernel backend the jobs ran under.
+
+``fleet`` scales the cluster extension to datacenter size: one seeded
+Poisson stream of jobs plays against every requested placement policy
+over the same fleet of nodes, with node execution sharded across the
+``--jobs`` worker processes (results are byte-identical to a serial
+run — the ExecStats footer goes to stderr so stdout can be diffed).
 
 ``run``, ``sweep``, ``arrivals`` and ``bench`` accept
 ``--kernel-backend {scalar,numpy}``: the pure-python scalar oracle or
@@ -59,6 +66,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro import MultitaskSystem, QoSTarget, TABLE2, build_mix
+from repro.cluster import PlacementPolicy
 from repro.exec import (
     ResultCache,
     SweepExecutor,
@@ -247,6 +255,44 @@ def _parser() -> argparse.ArgumentParser:
                                "0 (default: start empty)")
     _add_metrics_flags(arrivals)
     _add_backend_flag(arrivals)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale open system: hundreds of nodes, one seeded "
+             "arrival stream, every placement policy compared")
+    fleet.add_argument("--nodes", type=_positive_int, default=48,
+                       help="GPU nodes in the fleet (default: 48)")
+    fleet.add_argument("--tenants-per-node", type=_positive_int, default=4,
+                       help="slice slots per node (default: 4)")
+    fleet.add_argument("--placement", nargs="+",
+                       default=[p.value for p in PlacementPolicy],
+                       choices=[p.value for p in PlacementPolicy],
+                       help="placement policies to compare (default: all)")
+    fleet.add_argument("--slicing", choices=["ugpu", "mig"], default="ugpu",
+                       help="per-node slicing: unbalanced UGPU slices or "
+                            "rigid MIG-like ones (default: ugpu)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="arrival-trace seed (deterministic)")
+    fleet.add_argument("--mean-interarrival", type=_positive_int,
+                       default=150_000, metavar="CYCLES",
+                       help="mean job inter-arrival time (default: 150k "
+                            "cycles — a busy fleet)")
+    fleet.add_argument("--cycles", type=int, default=150_000_000,
+                       help="simulation horizon in GPU cycles")
+    fleet.add_argument("--round-cycles", type=_positive_int,
+                       default=2_500_000, metavar="CYCLES",
+                       help="scheduling-round length (default: 2.5M cycles)")
+    fleet.add_argument("--rebalance-every", type=_positive_int, default=8,
+                       metavar="ROUNDS",
+                       help="rounds between cross-shard rebalancing passes "
+                            "(default: 8)")
+    fleet.add_argument("--instructions-per-kernel", type=_positive_int,
+                       default=50_000_000, metavar="N",
+                       help="kernel size for arriving jobs; one full launch "
+                            "is a job's budget (default: 50M)")
+    _add_exec_flags(fleet)
+    _add_metrics_flags(fleet)
+    _add_backend_flag(fleet)
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
                                          "and export the timeline")
@@ -467,6 +513,70 @@ def cmd_arrivals(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Fleet-scale placement shoot-out over one seeded arrival stream.
+
+    Everything on stdout is deterministic (no wall times), so CI can
+    ``diff`` a serial run against a sharded one; the ExecStats footer
+    goes to stderr.
+    """
+    from repro.cluster import FleetShardResult, FleetSimulator
+
+    schedule = poisson_arrivals(
+        mean_interarrival_cycles=args.mean_interarrival,
+        horizon_cycles=args.cycles,
+        seed=args.seed,
+        instructions_per_kernel=args.instructions_per_kernel,
+    )
+    capacity = args.nodes * args.tenants_per_node
+    print(f"fleet: {args.nodes} nodes x {args.tenants_per_node} slots "
+          f"({capacity} slots)  slicing: {args.slicing}  seed: {args.seed}")
+    print(f"{len(schedule)} arrivals over {args.cycles:,} cycles "
+          f"(mean inter-arrival {args.mean_interarrival:,}, "
+          f"round {args.round_cycles:,})\n")
+    registry, finish_metrics = _metrics_session(
+        args, command="fleet", slicing=args.slicing, seed=str(args.seed))
+    cache = None
+    if not args.no_cache:
+        # Fleet shards live in their own typed cache directory so the two
+        # payload kinds (SystemResult vs FleetShardResult) never collide.
+        base = args.cache_dir or default_cache_dir()
+        cache = ResultCache(os.path.join(base, "fleet"),
+                            result_types=(FleetShardResult,))
+    print(f"{'policy':<18} {'STP':>8} {'ANTT':>8} {'q-delay':>12} "
+          f"{'frag':>7} {'active':>7} {'adm':>6} {'dep':>6} {'mig':>5} "
+          f"{'wait':>5}  energy(J)")
+    with SweepExecutor(jobs=args.jobs, cache=cache,
+                       metrics=registry) as executor:
+        for name in args.placement:
+            simulator = FleetSimulator(
+                args.nodes,
+                schedule,
+                PlacementPolicy.parse(name),
+                slicing=args.slicing,
+                tenants_per_node=args.tenants_per_node,
+                round_cycles=args.round_cycles,
+                horizon_cycles=args.cycles,
+                rebalance_every=args.rebalance_every,
+                instructions_per_kernel=args.instructions_per_kernel,
+                executor=executor,
+                metrics=registry,
+            )
+            result = simulator.run()
+            energy = (f"{result.energy.total:>10.3f}"
+                      if result.energy is not None else f"{'-':>10}")
+            print(f"{name:<18} {result.stp:>8.3f} {result.antt:>8.2f} "
+                  f"{result.mean_queueing_delay:>12,.0f} "
+                  f"{result.fragmentation:>7.3f} "
+                  f"{result.mean_active_nodes:>7.1f} "
+                  f"{result.admissions:>6} {result.departures:>6} "
+                  f"{result.migrations:>5} {result.waiting_at_horizon:>5} "
+                  f"{energy}")
+    print(f"\n{executor.stats.format()}", file=sys.stderr)
+    finish_metrics()
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run one traced simulation and export/summarize the timeline."""
     from repro.exec import resolve_policy
@@ -646,6 +756,7 @@ def main(argv: Sequence[str] = None) -> int:
         "sweep": cmd_sweep,
         "qos": cmd_qos,
         "arrivals": cmd_arrivals,
+        "fleet": cmd_fleet,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "export": cmd_export,

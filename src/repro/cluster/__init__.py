@@ -5,16 +5,35 @@ unbalanced slices, improving resource utilization ... idle resources can
 then be allocated to other tasks launched by different users, thus
 enhancing the utilization of cloud GPU clusters."
 
-This subpackage builds that scenario: a :class:`~repro.cluster.node.GPUNode`
-wraps one physical GPU running a slicing policy, and the
-:class:`~repro.cluster.scheduler.ClusterScheduler` places tenant jobs
-across nodes — either naively (first-fit) or demand-aware (pairing
-memory-bound with compute-bound tenants so every node has reallocation
-room).
+This subpackage builds that scenario at two scales:
+
+* a single rack: :class:`~repro.cluster.node.GPUNode` wraps one physical
+  GPU running a slicing policy, and the
+  :class:`~repro.cluster.scheduler.ClusterScheduler` places tenant jobs
+  across nodes under a policy from the placement zoo
+  (:mod:`repro.cluster.placement`);
+* a fleet: :class:`~repro.cluster.fleet.FleetSimulator` drives hundreds
+  of nodes and thousands of arriving/departing jobs through fixed
+  scheduling rounds, sharding node execution across the
+  :class:`~repro.exec.SweepExecutor`'s worker processes
+  (:mod:`repro.cluster.shard`) with periodic cross-shard rebalancing.
 """
 
+from repro.cluster.fleet import FleetResult, FleetSimulator
 from repro.cluster.node import GPUNode, NodeResult
-from repro.cluster.scheduler import ClusterResult, ClusterScheduler, PlacementPolicy
+from repro.cluster.placement import (
+    NodeView,
+    PlacementPolicy,
+    choose_node,
+    placement_key,
+)
+from repro.cluster.scheduler import ClusterResult, ClusterScheduler
+from repro.cluster.shard import (
+    FleetShardJob,
+    FleetShardResult,
+    NodeShardState,
+    TenantState,
+)
 
 __all__ = [
     "GPUNode",
@@ -22,4 +41,13 @@ __all__ = [
     "ClusterScheduler",
     "ClusterResult",
     "PlacementPolicy",
+    "NodeView",
+    "placement_key",
+    "choose_node",
+    "FleetSimulator",
+    "FleetResult",
+    "FleetShardJob",
+    "FleetShardResult",
+    "NodeShardState",
+    "TenantState",
 ]

@@ -14,7 +14,11 @@ from repro.policies import BPPolicy, UGPUPolicy
 
 @dataclass
 class NodeResult:
-    """Outcome of one node's multiprogram run."""
+    """Outcome of one node's multiprogram run.
+
+    Per-app entries keep the *cluster-level* app ids the scheduler
+    admitted, so a result maps back onto admit/depart bookkeeping.
+    """
 
     node_id: int
     result: Optional[SystemResult]   #: None for an idle node
@@ -23,6 +27,27 @@ class NodeResult:
     @property
     def stp(self) -> float:
         return self.result.stp if self.result is not None else 0.0
+
+    @property
+    def tenant_ids(self) -> List[int]:
+        """Cluster-level app ids of the tenants that ran, in placement
+        order (empty for an idle node)."""
+        if self.result is None:
+            return []
+        return [run.app_id for run in self.result.runs]
+
+    def run_for(self, app_id: int):
+        """The per-app run for one cluster-level app id."""
+        if self.result is None:
+            raise AllocationError(
+                f"node {self.node_id} was idle: no run for app {app_id}"
+            )
+        for run in self.result.runs:
+            if run.app_id == app_id:
+                return run
+        raise AllocationError(
+            f"app {app_id} did not run on node {self.node_id}"
+        )
 
 
 class GPUNode:
@@ -59,6 +84,10 @@ class GPUNode:
             raise AllocationError(
                 f"node {self.node_id} is full ({self.max_tenants} tenants)"
             )
+        if any(t.app_id == app.app_id for t in self.tenants):
+            raise AllocationError(
+                f"app {app.app_id} is already resident on node {self.node_id}"
+            )
         self.tenants.append(app)
 
     def remove(self, app_id: int) -> Application:
@@ -85,7 +114,10 @@ class GPUNode:
         names = [t.name for t in self.tenants]
         if not self.tenants:
             return NodeResult(self.node_id, None, [])
-        apps = [t.clone(app_id=i) for i, t in enumerate(self.tenants)]
+        # Fresh clones that KEEP their cluster-level app ids (place()
+        # guarantees they are unique on this node), so per-app results
+        # key back to the jobs the scheduler admitted.
+        apps = [t.clone() for t in self.tenants]
         if len(apps) == 1:
             # Whole-GPU run: every policy degenerates to the same thing,
             # so use the overhead-free static system.

@@ -1,46 +1,33 @@
 """Cluster-level tenant placement.
 
-Three placement policies:
+The placement orderings themselves live in
+:mod:`repro.cluster.placement` (the policy zoo shared with the fleet
+simulator); this module owns the stateful side — a pool of
+:class:`~repro.cluster.node.GPUNode`, admit/depart bookkeeping with
+placement telemetry, and batch placement + execution for closed-system
+cluster runs.  Batch placement under an online policy degenerates to
+admitting jobs one at a time, which is exactly how an open system sees
+them.
 
-* ``FIRST_FIT`` — tenants land on the first node with a free slot, the
-  default behaviour of a class-blind scheduler.
-* ``DEMAND_AWARE`` — tenants are paired so every node mixes memory-bound
-  and compute-bound applications, maximizing each node's UGPU
-  reallocation room (the paper's cloud-utilization argument: a node full
-  of same-class tenants has nothing to trade).
-* ``LEAST_FRAGMENTED`` — the *online* policy: each arriving job lands on
-  the compatible node that leaves the least stranded capacity (the
-  fullest node that still has a slot), preferring nodes whose resident
-  class mix the arrival complements.  Batch placement degenerates to
-  admitting jobs one at a time, which is exactly how an open system sees
-  them.
-
-The scheduler then runs every node under the chosen slicing policy and
-aggregates cluster throughput.  :meth:`ClusterScheduler.admit` and
-:meth:`ClusterScheduler.depart` expose the same machinery job-by-job for
-arrival/departure traces (:mod:`repro.workloads.arrivals`).
+:meth:`ClusterScheduler.admit` and :meth:`ClusterScheduler.depart`
+expose the machinery job-by-job for arrival/departure traces
+(:mod:`repro.workloads.arrivals`); the placements counter records one
+outcome per event — ``placed``, ``rejected`` or ``departed`` — so the
+counter always reconciles with the resident-tenant gauges.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.node import GPUNode, NodeResult
+from repro.cluster.placement import NodeView, PlacementPolicy, choose_node
 from repro.core.system import MultitaskSystem
 from repro.errors import AllocationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Application
 from repro.gpu.performance import PerformanceModel
-
-
-class PlacementPolicy(enum.Enum):
-    """How tenants are assigned to nodes."""
-
-    FIRST_FIT = "first_fit"
-    DEMAND_AWARE = "demand_aware"
-    LEAST_FRAGMENTED = "least_fragmented"
 
 
 @dataclass
@@ -122,15 +109,19 @@ class ClusterScheduler:
 
     def place(self, jobs: Sequence[Application],
               policy: PlacementPolicy = PlacementPolicy.DEMAND_AWARE) -> None:
-        """Assign all jobs to nodes; raises if the cluster is full."""
+        """Assign all jobs to nodes; raises if the cluster is full (the
+        whole batch is rejected, and counted as such)."""
         if len(jobs) > self.capacity - self.resident_jobs:
+            if self.metrics is not None:
+                self._m_placements.labels(outcome="rejected").inc(len(jobs))
             raise AllocationError(
                 f"{len(jobs)} jobs exceed cluster capacity {self.capacity}"
             )
-        if policy is PlacementPolicy.LEAST_FRAGMENTED:
-            # The online policy sees a batch as back-to-back arrivals.
+        if policy not in (PlacementPolicy.FIRST_FIT,
+                          PlacementPolicy.DEMAND_AWARE):
+            # The online policies see a batch as back-to-back arrivals.
             for job in jobs:
-                self.admit(job)
+                self.admit(job, policy)
             return
         if policy is PlacementPolicy.FIRST_FIT:
             # Class-blind: spread tenants breadth-first for load fairness.
@@ -173,49 +164,45 @@ class ClusterScheduler:
     # ------------------------------------------------------------------
     # Online admission / departure
     # ------------------------------------------------------------------
-    def admit(self, job: Application) -> GPUNode:
-        """Place one arriving job on the least-fragmented compatible node.
+    def node_views(self) -> List[NodeView]:
+        """The occupancy snapshot the placement zoo chooses over."""
+        return [
+            NodeView(
+                node_id=n.node_id,
+                capacity=n.max_tenants,
+                free_slots=n.free_slots,
+                tenant_classes=tuple(
+                    self._is_memory_bound(t) for t in n.tenants
+                ),
+            )
+            for n in self.nodes
+        ]
 
-        Best-fit bin packing with a class-mix tie-break: among nodes with
-        a free slot, pick the one with the fewest remaining slots
-        (keeping whole nodes free for future arrivals), preferring nodes
-        whose residents the arrival complements (an empty node, or one
-        already holding an opposite-class tenant, gives UGPU reallocation
-        room).  Deterministic: ties fall to the lowest node id.
+    def admit(self, job: Application,
+              policy: PlacementPolicy = PlacementPolicy.LEAST_FRAGMENTED,
+              ) -> GPUNode:
+        """Place one arriving job under ``policy`` (default: best-fit bin
+        packing with a class-mix tie-break, keeping whole nodes free for
+        future arrivals).  Deterministic: every ordering in
+        :mod:`repro.cluster.placement` ends with the node id.
         """
-        open_nodes = [n for n in self.nodes if n.free_slots > 0]
-        if not open_nodes:
+        choice = choose_node(
+            policy, self.node_views(), self._is_memory_bound(job)
+        )
+        if choice is None:
             self._note_placement(outcome="rejected")
             raise AllocationError("cluster is full: no free slot for arrival")
-        job_mb = self._is_memory_bound(job)
-        target = min(
-            open_nodes,
-            key=lambda n: (
-                n.free_slots,
-                0 if self._complements(n, job_mb) else 1,
-                n.node_id,
-            ),
-        )
+        target = self.nodes[choice.node_id]
         target.place(job)
         self._note_placement()
         return target
-
-    def _complements(self, node: GPUNode, job_is_memory_bound: bool) -> bool:
-        """Would the arrival improve (or keep) the node's class mix?"""
-        if node.is_empty:
-            return True
-        return any(
-            self._is_memory_bound(t) != job_is_memory_bound
-            for t in node.tenants
-        )
 
     def depart(self, app_id: int) -> GPUNode:
         """Release a departing job's slot; returns the node it held."""
         for node in self.nodes:
             if any(t.app_id == app_id for t in node.tenants):
                 node.remove(app_id)
-                if self.metrics is not None:
-                    self._update_node_gauges()
+                self._note_placement(outcome="departed")
                 return node
         raise AllocationError(f"app {app_id} is not resident in the cluster")
 

@@ -32,19 +32,30 @@ _TMP_PREFIX = ".tmp-"
 
 
 class ResultCache:
-    """Disk-backed ``key -> SystemResult`` store with LRU-ish eviction.
+    """Disk-backed ``key -> result`` store with LRU-ish eviction.
 
     ``max_entries`` bounds the directory; when exceeded, the
     oldest-accessed entries (by file mtime, refreshed on every hit) are
     evicted first.
+
+    ``result_types`` is the sanity-check allowlist: entries that are not
+    an instance of one of these types are rejected (treated as
+    corruption on read, refused on write).  The default accepts only
+    :class:`~repro.core.system.SystemResult`; the fleet simulator keeps
+    its shard results in a separate directory typed to
+    ``FleetShardResult`` so the two payload kinds can never collide.
     """
 
-    def __init__(self, directory, max_entries: Optional[int] = None) -> None:
+    def __init__(self, directory, max_entries: Optional[int] = None,
+                 result_types: tuple = (SystemResult,)) -> None:
         if max_entries is not None and max_entries < 1:
             raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+        if not result_types:
+            raise ConfigError("result_types cannot be empty")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
+        self.result_types = tuple(result_types)
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -67,7 +78,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}{_SUFFIX}"
 
-    def get(self, key: str) -> Optional[SystemResult]:
+    def get(self, key: str):
         """Return the memoized result, or None (counting a miss).
 
         Corrupted or non-conforming entries are deleted so the slot is
@@ -79,7 +90,7 @@ class ResultCache:
                 payload = pickle.load(handle)
             result = payload["result"]
             if payload["version"] != __version__ or not isinstance(
-                result, SystemResult
+                result, self.result_types
             ):
                 raise ValueError("cache entry does not match this package")
         except FileNotFoundError:
@@ -94,10 +105,12 @@ class ResultCache:
         self._touch(path)
         return result
 
-    def put(self, key: str, result: SystemResult) -> None:
+    def put(self, key: str, result) -> None:
         """Atomically persist ``result`` under ``key``."""
-        if not isinstance(result, SystemResult):
-            raise ConfigError(f"cache stores SystemResult, got {type(result).__name__}")
+        if not isinstance(result, self.result_types):
+            allowed = "/".join(t.__name__ for t in self.result_types)
+            raise ConfigError(
+                f"cache stores {allowed}, got {type(result).__name__}")
         payload = {"version": __version__, "key": key, "result": result}
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=_SUFFIX

@@ -16,6 +16,23 @@ specs into an *ordered* list of :class:`~repro.core.system.SystemResult`:
 The executor keeps two stat records: ``last_stats`` for the most recent
 :meth:`run` and ``stats`` accumulated over the executor's lifetime (one
 multi-policy comparison issues several runs).
+
+The executor is generic over job types: anything picklable with
+``run()``, ``key()``, and the display attributes ``policy`` /
+``mix_name`` / ``total_cycles`` / ``kwargs`` flows through — a
+:class:`~repro.exec.jobs.SweepJob` or a fleet
+:class:`~repro.cluster.shard.FleetShardJob`.
+
+By default each ``jobs>1`` :meth:`run` spins up a fresh process pool.
+Callers that issue *many* small runs (the fleet simulator executes one
+per scheduling round) should use the executor as a context manager::
+
+    with SweepExecutor(jobs=8, cache=cache) as executor:
+        for round in rounds:
+            executor.run(shards)        # one persistent pool throughout
+
+which keeps a single pool alive until exit — identical results, without
+re-spawning worker processes every round.
 """
 
 from __future__ import annotations
@@ -55,6 +72,24 @@ class SweepExecutor:
         self.metrics = metrics
         self.stats = ExecStats(workers=jobs)
         self.last_stats = ExecStats(workers=jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Persistent-pool lifecycle (optional; run() works without it)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SweepExecutor":
+        if self.jobs > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one is open."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     def run(self, sweep_jobs: Sequence[SweepJob]) -> List[SystemResult]:
         """Execute every job; results are returned in job order."""
@@ -97,20 +132,14 @@ class SweepExecutor:
                 stats.job_seconds.append(seconds)
                 self._trace_job(sweep_jobs[index], seconds, start)
         elif pending:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_job_timed, sweep_jobs[index]): index
-                    for index in pending
-                }
-                done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-                for future in done:
-                    future.result()  # re-raise worker failures eagerly
-                for future, index in futures.items():
-                    result, seconds = future.result()
-                    results[index] = result
-                    stats.job_seconds.append(seconds)
-                    self._trace_job(sweep_jobs[index], seconds, start)
+            if self._pool is not None:
+                self._run_pool(self._pool, sweep_jobs, pending, results,
+                               stats, start)
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    self._run_pool(pool, sweep_jobs, pending, results,
+                                   stats, start)
 
         if self.cache is not None:
             for index in pending:
@@ -126,6 +155,22 @@ class SweepExecutor:
 
             fold_exec_stats(self.metrics, stats)
         return results  # type: ignore[return-value]
+
+    def _run_pool(self, pool: ProcessPoolExecutor, sweep_jobs, pending,
+                  results, stats: ExecStats, start: float) -> None:
+        """Fan ``pending`` out over ``pool``; fill ``results`` in place."""
+        futures = {
+            pool.submit(execute_job_timed, sweep_jobs[index]): index
+            for index in pending
+        }
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in done:
+            future.result()  # re-raise worker failures eagerly
+        for future, index in futures.items():
+            result, seconds = future.result()
+            results[index] = result
+            stats.job_seconds.append(seconds)
+            self._trace_job(sweep_jobs[index], seconds, start)
 
     def _trace_job(self, job: SweepJob, seconds: float, start: float) -> None:
         """Emit one ``job`` span (end-anchored: completion time is known,

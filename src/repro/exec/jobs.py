@@ -136,16 +136,25 @@ class SweepJob:
         """Content address: stable SHA-256 hex digest of :meth:`spec`."""
         return hashlib.sha256(self.spec().encode("utf-8")).hexdigest()
 
+    def run(self) -> SystemResult:
+        """Simulate this job to completion (in the calling process)."""
+        factory = resolve_policy(self.policy)
+        apps = build_mix(list(self.mix)).applications
+        system = factory(apps, **self.kwargs_dict())
+        return system.run(self.total_cycles, mix_name=self.mix_name)
 
-def execute_job(job: SweepJob) -> SystemResult:
-    """Run one job to completion (the worker-side entry point)."""
-    factory = resolve_policy(job.policy)
-    apps = build_mix(list(job.mix)).applications
-    system = factory(apps, **job.kwargs_dict())
-    return system.run(job.total_cycles, mix_name=job.mix_name)
+
+def execute_job(job) -> Any:
+    """Run one job to completion (the worker-side entry point).
+
+    Generic over job types: anything with ``run()`` — a :class:`SweepJob`
+    or a :class:`~repro.cluster.shard.FleetShardJob` — executes through
+    the same executor machinery.
+    """
+    return job.run()
 
 
-def execute_job_timed(job: SweepJob) -> Tuple[SystemResult, float]:
+def execute_job_timed(job) -> Tuple[Any, float]:
     """Run one job and measure its in-worker wall-clock seconds."""
     import time
 

@@ -191,6 +191,39 @@ def _scenario_sweep(profiler=None) -> Dict[str, Any]:
     }
 
 
+def _scenario_fleet(profiler=None) -> Dict[str, Any]:
+    """Fleet-scale open system: 12 nodes, ~200 arriving/departing jobs,
+    consolidating placement with energy-scored rebalancing — the cluster
+    coordinator, shard physics and placement zoo end to end (in-process,
+    cache off so every repetition simulates)."""
+    from repro.cluster import FleetSimulator, PlacementPolicy
+    from repro.workloads.arrivals import poisson_arrivals
+
+    schedule = poisson_arrivals(
+        mean_interarrival_cycles=150_000,
+        horizon_cycles=30_000_000,
+        seed=0,
+        instructions_per_kernel=50_000_000,
+    )
+    simulator = FleetSimulator(
+        12,
+        schedule,
+        PlacementPolicy.CONSOLIDATE,
+        round_cycles=2_500_000,
+        horizon_cycles=30_000_000,
+        instructions_per_kernel=50_000_000,
+        profiler=profiler,
+    )
+    result = simulator.run()
+    return {
+        "rounds": result.rounds,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "migrations": result.migrations,
+        "stp": round(result.stp, 6),
+    }
+
+
 def _scenarios() -> Dict[str, Scenario]:
     from repro.policies import BPPolicy, MPSPolicy, UGPUPolicy
 
@@ -226,6 +259,12 @@ def _scenarios() -> Dict[str, Scenario]:
             "sweep",
             "20-job bp/ugpu sweep through the exec layer (cache off)",
             _scenario_sweep,
+        ),
+        Scenario(
+            "fleet",
+            "12-node open-system fleet (seed 0) under consolidating "
+            "placement, 12 rounds",
+            _scenario_fleet,
         ),
     ]
     return {s.name: s for s in entries}

@@ -253,7 +253,7 @@ CLUSTER_NODE_TENANTS = "repro_cluster_node_tenants"
 def cluster_placements_total(reg: MetricsRegistry):
     return reg.counter(
         CLUSTER_PLACEMENTS_TOTAL,
-        "Cluster placement attempts by outcome (placed / rejected).",
+        "Cluster placement events by outcome (placed / rejected / departed).",
         labels=("outcome",),
     )
 
@@ -269,6 +269,77 @@ def cluster_node_fragmentation(reg: MetricsRegistry):
 def cluster_node_tenants(reg: MetricsRegistry):
     return reg.gauge(
         CLUSTER_NODE_TENANTS, "Tenants resident per node.", labels=("node",),
+    )
+
+
+# ---------------------------------------------------------------------- fleet
+FLEET_ROUNDS_TOTAL = "repro_fleet_rounds_total"
+FLEET_JOBS_TOTAL = "repro_fleet_jobs_total"
+FLEET_WAIT_QUEUE_DEPTH = "repro_fleet_wait_queue_depth"
+FLEET_RESIDENT_JOBS = "repro_fleet_resident_jobs"
+FLEET_ACTIVE_NODES = "repro_fleet_active_nodes"
+FLEET_FRAGMENTATION = "repro_fleet_fragmentation"
+FLEET_QUEUEING_DELAY_CYCLES = "repro_fleet_queueing_delay_cycles"
+FLEET_ENERGY_JOULES_TOTAL = "repro_fleet_energy_joules_total"
+
+
+def fleet_rounds_total(reg: MetricsRegistry):
+    return reg.counter(
+        FLEET_ROUNDS_TOTAL, "Fleet scheduling rounds completed."
+    )
+
+
+def fleet_jobs_total(reg: MetricsRegistry):
+    return reg.counter(
+        FLEET_JOBS_TOTAL,
+        "Fleet job lifecycle events "
+        "(arrived / admitted / departed / migrated).",
+        labels=("event",),
+    )
+
+
+def fleet_wait_queue_depth(reg: MetricsRegistry):
+    return reg.gauge(
+        FLEET_WAIT_QUEUE_DEPTH,
+        "Jobs waiting for a node slot (sampled at round boundaries).",
+    )
+
+
+def fleet_resident_jobs(reg: MetricsRegistry):
+    return reg.gauge(
+        FLEET_RESIDENT_JOBS,
+        "Jobs resident across the fleet (sampled at round boundaries).",
+    )
+
+
+def fleet_active_nodes(reg: MetricsRegistry):
+    return reg.gauge(
+        FLEET_ACTIVE_NODES,
+        "Nodes with at least one tenant (sampled at round boundaries).",
+    )
+
+
+def fleet_fragmentation(reg: MetricsRegistry):
+    return reg.gauge(
+        FLEET_FRAGMENTATION,
+        "Stranded capacity: free slots on active nodes / fleet capacity.",
+    )
+
+
+def fleet_queueing_delay_cycles(reg: MetricsRegistry):
+    return reg.histogram(
+        FLEET_QUEUEING_DELAY_CYCLES,
+        "Cycles between a fleet job's arrival and its admission.",
+        buckets=CYCLE_BUCKETS,
+    )
+
+
+def fleet_energy_joules_total(reg: MetricsRegistry):
+    return reg.counter(
+        FLEET_ENERGY_JOULES_TOTAL,
+        "Fleet energy by component (core_static / core_dynamic / "
+        "mem_static / mem_dynamic / migration).",
+        labels=("component",),
     )
 
 

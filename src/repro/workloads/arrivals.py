@@ -117,11 +117,17 @@ def poisson_arrivals(
         raise ConfigError("mean_interarrival_cycles must be positive")
     if horizon_cycles <= 0:
         raise ConfigError("horizon_cycles must be positive")
-    pool: List[str] = (
-        sorted(catalog) if catalog else sorted(spec.abbr for spec in TABLE2)
-    )
-    if not pool:
-        raise ConfigError("catalog cannot be empty")
+    # None means "the full Table 2 pool"; an explicitly empty catalog is a
+    # configuration mistake and must not silently widen to every benchmark.
+    if catalog is None:
+        pool: List[str] = sorted(spec.abbr for spec in TABLE2)
+    else:
+        pool = sorted(catalog)
+        if not pool:
+            raise ConfigError(
+                "catalog cannot be empty: pass None for the full Table 2 "
+                "pool or name at least one benchmark"
+            )
     rng = _lcg(seed)
     events: List[ArrivalEvent] = []
     t = 0.0

@@ -96,7 +96,7 @@ class TestRunBench:
     def test_pinned_suite_names(self):
         assert scenario_names() == [
             "closed_bp", "closed_ugpu", "closed_mps",
-            "arrivals", "ppmm_migration", "sweep",
+            "arrivals", "ppmm_migration", "sweep", "fleet",
         ]
 
 

@@ -2,9 +2,20 @@
 
 import pytest
 
-from repro import BPSystem, UGPUSystem, build_application
+from repro import MultitaskSystem, build_application
 from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
 from repro.errors import AllocationError
+from repro.policies import BPPolicy, UGPUPolicy
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.names import CLUSTER_PLACEMENTS_TOTAL
+
+
+def ugpu_system(apps):
+    return MultitaskSystem(apps, policy=UGPUPolicy())
+
+
+def bp_system(apps):
+    return MultitaskSystem(apps, policy=BPPolicy())
 
 
 def jobs(*abbrs):
@@ -15,15 +26,26 @@ class TestGPUNode:
     def test_tenant_cap(self):
         node = GPUNode(0, max_tenants=2)
         node.place(jobs("PVC")[0])
-        node.place(jobs("DXTC")[0])
+        node.place(build_application("DXTC", app_id=1))
         assert node.free_slots == 0
         with pytest.raises(AllocationError):
-            node.place(jobs("CP")[0])
+            node.place(build_application("CP", app_id=2))
+
+    def test_duplicate_app_id_rejected(self):
+        """Cluster-level ids key every results table; two tenants sharing
+        one id would silently shadow each other."""
+        node = GPUNode(0)
+        node.place(build_application("PVC", app_id=3))
+        with pytest.raises(AllocationError, match="already resident"):
+            node.place(build_application("DXTC", app_id=3))
 
     def test_idle_node_result(self):
         result = GPUNode(0).run()
         assert result.result is None
         assert result.stp == 0.0
+        assert result.tenant_ids == []
+        with pytest.raises(AllocationError, match="idle"):
+            result.run_for(0)
 
     def test_single_tenant_gets_whole_gpu(self):
         node = GPUNode(0)
@@ -35,13 +57,27 @@ class TestGPUNode:
         node = GPUNode(0)
         for job in jobs("PVC", "DXTC"):
             node.place(job)
-        ugpu = node.run(UGPUSystem)
+        ugpu = node.run(ugpu_system)
         node2 = GPUNode(0)
         for job in jobs("PVC", "DXTC"):
             node2.place(job)
-        bp = node2.run(BPSystem)
+        bp = node2.run(bp_system)
         assert ugpu.stp > bp.stp
         assert ugpu.tenants == ["PVC", "DXTC"]
+
+    def test_node_result_keeps_cluster_app_ids(self):
+        """Regression: ``run()`` used to renumber tenants 0..n-1, so a
+        node's per-app results could not be keyed back to the cluster
+        jobs the scheduler admitted."""
+        node = GPUNode(0)
+        node.place(build_application("PVC", app_id=7))
+        node.place(build_application("DXTC", app_id=42))
+        result = node.run()
+        assert result.tenant_ids == [7, 42]
+        assert result.run_for(42).name == "DXTC"
+        assert result.run_for(7).name == "PVC"
+        with pytest.raises(AllocationError, match="did not run"):
+            result.run_for(0)
 
     def test_invalid_cap(self):
         with pytest.raises(AllocationError):
@@ -57,6 +93,45 @@ class TestClusterScheduler:
         cluster = ClusterScheduler(num_nodes=1, tenants_per_node=2)
         with pytest.raises(AllocationError):
             cluster.place(jobs("PVC", "DXTC", "CP"))
+
+    def test_over_capacity_batch_counts_rejections(self):
+        """Regression: a rejected batch used to raise without recording
+        any ``rejected`` outcome, so the placements counter could not
+        reconcile with the admission log."""
+        registry = MetricsRegistry()
+        cluster = ClusterScheduler(num_nodes=1, tenants_per_node=2,
+                                   metrics=registry)
+        with pytest.raises(AllocationError):
+            cluster.place(jobs("PVC", "DXTC", "CP"))
+        assert registry.value(
+            CLUSTER_PLACEMENTS_TOTAL, outcome="rejected") == 3
+        assert registry.value(
+            CLUSTER_PLACEMENTS_TOTAL, outcome="placed") == 0
+
+    def test_depart_records_outcome(self):
+        """Regression: ``depart()`` used to update only the node gauges,
+        leaving the placements counter asymmetric (admissions counted,
+        departures invisible)."""
+        registry = MetricsRegistry()
+        cluster = ClusterScheduler(num_nodes=2, metrics=registry)
+        cluster.admit(build_application("PVC", app_id=9))
+        cluster.depart(9)
+        assert registry.value(
+            CLUSTER_PLACEMENTS_TOTAL, outcome="placed") == 1
+        assert registry.value(
+            CLUSTER_PLACEMENTS_TOTAL, outcome="departed") == 1
+        assert cluster.resident_jobs == 0
+
+    def test_depart_then_readmit_reuses_id(self):
+        """An app id freed by departure must be admissible again — open
+        systems recycle ids across the trace."""
+        cluster = ClusterScheduler(num_nodes=1, tenants_per_node=2)
+        cluster.admit(build_application("PVC", app_id=5))
+        cluster.depart(5)
+        node = cluster.admit(build_application("LBM", app_id=5))
+        assert [t.name for t in node.tenants] == ["LBM"]
+        with pytest.raises(AllocationError):
+            cluster.depart(6)
 
     def test_first_fit_fills_breadth_first(self):
         cluster = ClusterScheduler(num_nodes=2, tenants_per_node=2)
@@ -81,11 +156,11 @@ class TestClusterScheduler:
 
         # Adversarial class-blind placement: same-class tenants together.
         blind = ClusterScheduler(num_nodes=2, tenants_per_node=2)
-        blind.nodes[0].place(build_application("PVC"))
-        blind.nodes[0].place(build_application("LBM"))
-        blind.nodes[1].place(build_application("DXTC"))
-        blind.nodes[1].place(build_application("CP"))
-        blind_result = blind.run(UGPUSystem)
+        blind.nodes[0].place(build_application("PVC", app_id=0))
+        blind.nodes[0].place(build_application("LBM", app_id=1))
+        blind.nodes[1].place(build_application("DXTC", app_id=2))
+        blind.nodes[1].place(build_application("CP", app_id=3))
+        blind_result = blind.run(ugpu_system)
 
         aware = ClusterScheduler(num_nodes=2, tenants_per_node=2)
         aware_result = aware.schedule_and_run(

@@ -70,15 +70,19 @@ class TestKernelFromTrace:
 
     def test_characterized_kernel_runs_end_to_end(self, characterizer):
         """A trace-derived kernel plugs straight into the system sim."""
-        from repro import Application, BPSystem, UGPUSystem, build_application
+        from repro import Application, MultitaskSystem, build_application
+        from repro.policies import BPPolicy, UGPUPolicy
 
         kernel = characterizer.kernel_from_trace(
             "stream", streaming_trace(8000), instructions=6_000_000_000
         )
         custom = Application(0, "custom", [kernel])
         partner = build_application("DXTC", app_id=1)
-        bp = BPSystem([custom, partner]).run(10_000_000)
-        ugpu = UGPUSystem([custom.clone(0), partner.clone(1)]).run(10_000_000)
+        bp = MultitaskSystem(
+            [custom, partner], policy=BPPolicy()).run(10_000_000)
+        ugpu = MultitaskSystem(
+            [custom.clone(0), partner.clone(1)], policy=UGPUPolicy()
+        ).run(10_000_000)
         assert ugpu.stp >= bp.stp
 
     def test_ipc_derived_from_warp_model(self, characterizer):

@@ -38,7 +38,12 @@ import warnings as _warnings
 # still initializing.
 __version__ = "1.1.0"
 
-from repro.cluster import ClusterScheduler, GPUNode, PlacementPolicy
+from repro.cluster import (
+    ClusterScheduler,
+    FleetHealthMonitor,
+    GPUNode,
+    PlacementPolicy,
+)
 from repro.core import (
     AlgorithmCostModel,
     AppProfile,
@@ -71,6 +76,7 @@ from repro.policies import (
     PartitionPolicy,
     UGPUPolicy,
 )
+from repro.obslog import ObsLogger, read_obslog, validate_obslog_file
 from repro.telemetry import (
     CsvSampler,
     MetricsRegistry,
@@ -187,6 +193,7 @@ __all__ = [
     "GPUNode",
     "ClusterScheduler",
     "PlacementPolicy",
+    "FleetHealthMonitor",
     # Deprecated subclass spellings (lazy shims)
     "UGPUSystem",
     "BPSystem",
@@ -210,6 +217,10 @@ __all__ = [
     "to_prometheus",
     "to_json",
     "write_prometheus",
+    # Structured logging
+    "ObsLogger",
+    "read_obslog",
+    "validate_obslog_file",
     # Tracing
     "TraceCategory",
     "TraceEvent",

@@ -36,6 +36,16 @@ Both produce byte-identical simulation results; only the wall-clock
 differs, which is why BENCH documents record the backend and the compare
 gate refuses to verdict across backends.
 
+``sweep`` and ``fleet`` additionally accept the cross-process
+observability flags: ``--trace-out PREFIX`` records a merged timeline —
+orchestrator events plus worker-side captures from every pool process,
+correlated by ``run_id``/``shard_id``/``pid`` — and writes
+``PREFIX.jsonl`` + ``PREFIX.chrome.json``; ``--log-jsonl FILE`` streams
+structured log records (:mod:`repro.obslog`) carrying the same
+correlation IDs.  ``fleet --health`` attaches the
+:class:`~repro.cluster.health.FleetHealthMonitor` and prints its
+per-placement verdict (stragglers, wait-queue stalls, cache collapse).
+
 ``trace`` runs one mix with a :mod:`repro.trace` recorder attached and
 writes the timeline as JSONL (``<prefix>.jsonl``) and/or a Chrome-trace
 file (``<prefix>.chrome.json``) that loads in ``chrome://tracing`` and
@@ -197,6 +207,70 @@ def _metrics_session(args, **extra):
     return registry, finish
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PREFIX",
+                        help="record a merged cross-process timeline and "
+                             "write PREFIX.jsonl + PREFIX.chrome.json "
+                             "(enables worker-side capture)")
+    parser.add_argument("--log-jsonl", default=None, metavar="FILE",
+                        help="write correlated structured log records "
+                             "(one JSON object per line) here")
+
+
+def _obs_session(args, command: str, **ids):
+    """Recorder + obslog implied by ``--trace-out`` / ``--log-jsonl``.
+
+    Returns ``(recorder, obslog, run_id, finish)`` — ``(None, None,
+    "", no-op)`` when neither flag is set, so instrumented paths stay
+    on their ``tracer=None`` / ``log=None`` fast path.  ``finish``
+    writes the trace exports and closes the log; all announcements go
+    to stderr so stdout stays byte-diffable between serial and sharded
+    runs.  The session ``run_id`` hashes the command's shape (``ids``),
+    so two invocations of the same configuration correlate.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    log_jsonl = getattr(args, "log_jsonl", None)
+    if not trace_out and not log_jsonl:
+        return None, None, "", lambda: None
+    from repro.telemetry.provenance import config_hash
+
+    run_id = config_hash(None, command=command, **ids)
+    recorder = None
+    if trace_out:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(capacity=262_144)
+    obslog = None
+    if log_jsonl:
+        from repro.obslog import ObsLogger
+
+        obslog = ObsLogger(log_jsonl, run_id=run_id)
+
+    def finish() -> None:
+        if recorder is not None:
+            from repro.trace import write_chrome_trace, write_jsonl
+
+            events = recorder.events()
+            path = f"{trace_out}.jsonl"
+            count = write_jsonl(events, path)
+            print(f"wrote {count} trace events to {path}", file=sys.stderr)
+            path = f"{trace_out}.chrome.json"
+            count = write_chrome_trace(events, path)
+            print(f"wrote {count} trace records to {path} "
+                  "(open in chrome://tracing or https://ui.perfetto.dev)",
+                  file=sys.stderr)
+            if recorder.dropped:
+                print(f"note: trace ring dropped {recorder.dropped} oldest "
+                      "events", file=sys.stderr)
+        if obslog is not None:
+            count = obslog.records_written
+            obslog.close()
+            print(f"wrote {count} log records to {log_jsonl}",
+                  file=sys.stderr)
+
+    return recorder, obslog, run_id, finish
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +299,7 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cycles", type=int, default=25_000_000)
     _add_exec_flags(sweep)
     _add_metrics_flags(sweep)
+    _add_obs_flags(sweep)
     _add_backend_flag(sweep)
 
     qos = sub.add_parser("qos", help="QoS scenario: high-priority "
@@ -290,8 +365,13 @@ def _parser() -> argparse.ArgumentParser:
                        default=50_000_000, metavar="N",
                        help="kernel size for arriving jobs; one full launch "
                             "is a job's budget (default: 50M)")
+    fleet.add_argument("--health", action="store_true",
+                       help="attach the fleet health monitor and print its "
+                            "per-placement verdict (stragglers, wait-queue "
+                            "stalls, cache collapse)")
     _add_exec_flags(fleet)
     _add_metrics_flags(fleet)
+    _add_obs_flags(fleet)
     _add_backend_flag(fleet)
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
@@ -416,10 +496,22 @@ def cmd_sweep(args) -> int:
     print(f"sweeping {len(pairs)} heterogeneous mixes, "
           f"{args.cycles:,} cycles each\n")
     registry, finish_metrics = _metrics_session(args, command="sweep")
-    executor = _executor_from(args, metrics=registry)
+    recorder, obslog, run_id, finish_obs = _obs_session(
+        args, "sweep", policies="_".join(args.policies), cycles=args.cycles)
+    capture = recorder is not None
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    executor = SweepExecutor(jobs=args.jobs, cache=cache, metrics=registry,
+                             tracer=recorder, log=obslog, capture=capture)
     jobs = [SweepJob.build(name, pair, args.cycles, kwargs=_job_kwargs(args))
             for name in args.policies for pair in pairs]
     results = executor.run(jobs)
+    if capture:
+        from repro.exec import merge_envelopes
+
+        merge_envelopes(executor.last_envelopes, tracer=recorder,
+                        metrics=registry, run_id=run_id)
     stats = {}
     for offset, name in enumerate(args.policies):
         chunk = results[offset * len(pairs):(offset + 1) * len(pairs)]
@@ -436,6 +528,7 @@ def cmd_sweep(args) -> int:
                 gain = statistics.fmean(stps) / base - 1
                 print(f"\n{name} vs bp: {gain:+.1%}")
     print(f"\n{executor.stats.format()}")
+    finish_obs()
     finish_metrics()
     return 0
 
@@ -536,6 +629,9 @@ def cmd_fleet(args) -> int:
           f"round {args.round_cycles:,})\n")
     registry, finish_metrics = _metrics_session(
         args, command="fleet", slicing=args.slicing, seed=str(args.seed))
+    recorder, obslog, _run_id, finish_obs = _obs_session(
+        args, "fleet", seed=str(args.seed), nodes=args.nodes,
+        slicing=args.slicing, cycles=args.cycles)
     cache = None
     if not args.no_cache:
         # Fleet shards live in their own typed cache directory so the two
@@ -546,9 +642,16 @@ def cmd_fleet(args) -> int:
     print(f"{'policy':<18} {'STP':>8} {'ANTT':>8} {'q-delay':>12} "
           f"{'frag':>7} {'active':>7} {'adm':>6} {'dep':>6} {'mig':>5} "
           f"{'wait':>5}  energy(J)")
+    health_reports = []
     with SweepExecutor(jobs=args.jobs, cache=cache,
-                       metrics=registry) as executor:
+                       metrics=registry, log=obslog) as executor:
         for name in args.placement:
+            monitor = None
+            if args.health:
+                from repro.cluster import FleetHealthMonitor
+
+                monitor = FleetHealthMonitor(
+                    metrics=registry, log=obslog, tracer=recorder)
             simulator = FleetSimulator(
                 args.nodes,
                 schedule,
@@ -561,8 +664,17 @@ def cmd_fleet(args) -> int:
                 instructions_per_kernel=args.instructions_per_kernel,
                 executor=executor,
                 metrics=registry,
+                # The recorder stays cycle-domain: the simulator (and its
+                # absorbed worker node-physics spans) emits cycles, while
+                # the executor's own job spans are wall seconds — mixing
+                # the two on one timeline would be meaningless.
+                tracer=recorder,
+                log=obslog,
+                health=monitor,
             )
             result = simulator.run()
+            if monitor is not None:
+                health_reports.append((name, result.health))
             energy = (f"{result.energy.total:>10.3f}"
                       if result.energy is not None else f"{'-':>10}")
             print(f"{name:<18} {result.stp:>8.3f} {result.antt:>8.2f} "
@@ -572,7 +684,10 @@ def cmd_fleet(args) -> int:
                   f"{result.admissions:>6} {result.departures:>6} "
                   f"{result.migrations:>5} {result.waiting_at_horizon:>5} "
                   f"{energy}")
+    for name, report in health_reports:
+        print(f"\n[{name}] {report.format()}")
     print(f"\n{executor.stats.format()}", file=sys.stderr)
+    finish_obs()
     finish_metrics()
     return 0
 

@@ -20,6 +20,11 @@ This subpackage builds that scenario at two scales:
 """
 
 from repro.cluster.fleet import FleetResult, FleetSimulator
+from repro.cluster.health import (
+    FleetHealthMonitor,
+    HealthIncident,
+    HealthReport,
+)
 from repro.cluster.node import GPUNode, NodeResult
 from repro.cluster.placement import (
     NodeView,
@@ -46,6 +51,9 @@ __all__ = [
     "choose_node",
     "FleetSimulator",
     "FleetResult",
+    "FleetHealthMonitor",
+    "HealthIncident",
+    "HealthReport",
     "FleetShardJob",
     "FleetShardResult",
     "NodeShardState",

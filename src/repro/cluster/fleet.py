@@ -42,6 +42,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.cluster.health import FleetHealthMonitor, HealthReport
 from repro.cluster.placement import NodeView, PlacementPolicy, choose_node
 from repro.cluster.shard import (
     CHANNEL_FLOOR,
@@ -118,6 +119,10 @@ class FleetResult:
     shard_runs: int
     energy: Optional[EnergyBreakdown] = None
     provenance: Dict[str, str] = field(default_factory=dict)
+    #: Health-monitor verdict, when one was attached.  Wall-clock shaped
+    #: (stragglers are host-time outliers), so it is deliberately
+    #: excluded from :meth:`summary` — summaries stay deterministic.
+    health: Optional[HealthReport] = None
 
     @property
     def capacity(self) -> int:
@@ -206,6 +211,9 @@ class FleetSimulator:
         metrics=None,
         tracer=None,
         profiler=None,
+        log=None,
+        health: Optional[FleetHealthMonitor] = None,
+        capture: Optional[bool] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigError("num_nodes must be positive")
@@ -247,6 +255,35 @@ class FleetSimulator:
         self.energy_model = energy_model
         self.tracer = tracer
         self.profiler = profiler
+        self.health = health
+        #: Worker-side capture: explicit flag, else inferred — any
+        #: orchestrator sink present means the caller wants the worker
+        #: half of the merged streams too.
+        self._capture = (
+            capture if capture is not None
+            else (tracer is not None or metrics is not None
+                  or profiler is not None)
+        )
+        from repro.telemetry.provenance import config_hash
+
+        #: Deterministic run correlation ID: a hash of the run's shape,
+        #: so serial and sharded runs of one configuration correlate.
+        self.run_id = config_hash(
+            config,
+            placement=PlacementPolicy.parse(placement).value,
+            slicing=slicing,
+            nodes=num_nodes,
+            tenants=tenants_per_node,
+            round=round_cycles,
+            horizon=horizon_cycles,
+            arrivals=len(arrivals),
+        )
+        self.log = (
+            log.bind(run_id=self.run_id, placement=self.placement.value)
+            if log is not None else None
+        )
+        if health is not None and not getattr(health, "run_id", ""):
+            health.run_id = self.run_id
         self._model = _model_for(config)
         self._nodes = [_NodeState(i) for i in range(num_nodes)]
         self._catalog = {spec.abbr for spec in TABLE2}
@@ -349,6 +386,7 @@ class FleetSimulator:
 
     def _trace(self, name: str, now: int, **args) -> None:
         if self.tracer is not None:
+            args.setdefault("run_id", self.run_id)
             self.tracer.emit("fleet", name, time=float(now), **args)
 
     def _admit(self, wait: Deque[_JobRecord], now: int) -> int:
@@ -367,13 +405,19 @@ class FleetSimulator:
             record.node_id = node.node_id
             admitted += 1
             self._trace("admit", now, job=record.job_id, node=node.node_id)
+            if self.log is not None:
+                self.log.debug(
+                    "fleet.admit", job_id=record.job_id,
+                    node_id=node.node_id, now=now,
+                    delay=now - record.arrival_cycle,
+                )
             if self.metrics is not None:
                 self._m_jobs.labels(event="admitted").inc()
                 self._m_delay.observe(now - record.arrival_cycle)
         return admitted
 
     def _execute(self, active: List[_NodeState], span: int,
-                 round_index: int) -> List:
+                 round_index: int, now: int) -> List:
         states = [
             NodeShardState(
                 node_id=n.node_id,
@@ -404,9 +448,48 @@ class FleetSimulator:
             )
             for i in range(0, len(states), chunk)
         ]
-        results: List[FleetShardResult] = self.executor.run(jobs)
+        results: List[FleetShardResult] = self.executor.run(
+            jobs, capture=self._capture
+        )
         self._shard_runs += len(jobs)
+        if self._capture:
+            self._absorb_envelopes(
+                self.executor.last_envelopes, round_index, now
+            )
         return [node_out for result in results for node_out in result.nodes]
+
+    def _absorb_envelopes(self, envelopes, round_index: int,
+                          round_start: int) -> None:
+        """Fold worker captures into the orchestrator sinks, shard order.
+
+        Worker trace timestamps are round-relative cycles; re-anchoring
+        at the round's start cycle puts node-physics spans on the same
+        timeline as the orchestrator's ``fleet`` events.  The shift never
+        enters the shard cache key (like ``label``), so cached envelopes
+        replay correctly at whatever round they hit.
+        """
+        for shard_index, envelope in enumerate(envelopes):
+            if envelope is None or envelope.obs is None:
+                continue
+            obs = envelope.obs
+            shard_id = f"r{round_index}.s{shard_index}"
+            if self.tracer is not None and obs.events:
+                self.tracer.absorb(
+                    obs.events,
+                    time_shift=float(round_start),
+                    run_id=self.run_id,
+                    shard_id=shard_id,
+                    pid=envelope.pid,
+                    worker=envelope.worker,
+                )
+            if self.metrics is not None and obs.metrics:
+                from repro.telemetry.merge import merge_registry
+
+                merge_registry(self.metrics, obs.metrics)
+            if self.profiler is not None and obs.profile:
+                self.profiler.absorb(
+                    obs.profile, prefix=("fleet.execute",)
+                )
 
     def _merge(self, outcomes, records_by_id: Dict[int, _JobRecord],
                now: int, span: int) -> int:
@@ -436,6 +519,13 @@ class FleetSimulator:
                     departures += 1
                     self._trace("depart", record.depart_cycle,
                                 job=record.job_id, node=node.node_id)
+                    if self.log is not None:
+                        self.log.debug(
+                            "fleet.depart", job_id=record.job_id,
+                            node_id=node.node_id,
+                            now=record.depart_cycle,
+                            instructions=record.instructions,
+                        )
                     if self.metrics is not None:
                         self._m_jobs.labels(event="departed").inc()
                 else:
@@ -488,6 +578,12 @@ class FleetSimulator:
                 moves += 1
                 self._trace("migrate", now, job=record.job_id,
                             source=source.node_id, target=target.node_id)
+                if self.log is not None:
+                    self.log.debug(
+                        "fleet.migrate", job_id=record.job_id,
+                        node_id=target.node_id,
+                        source=source.node_id, now=now,
+                    )
                 if self.metrics is not None:
                     self._m_jobs.labels(event="migrated").inc()
         return moves
@@ -524,6 +620,16 @@ class FleetSimulator:
         self._ran = True
         events = list(self.arrivals)
         self._validate_schedule(events)
+        if self.log is not None:
+            self.log.info(
+                "fleet.run", nodes=self.num_nodes,
+                tenants_per_node=self.tenants_per_node,
+                slicing=self.slicing,
+                horizon=self.horizon_cycles,
+                round_cycles=self.round_cycles,
+                arrivals=len(events),
+                workers=self.executor.jobs,
+            )
         self._shard_runs = 0
         self._migrated_bytes = 0.0
         self._e_core_static = self._e_core_dynamic = 0.0
@@ -558,6 +664,11 @@ class FleetSimulator:
                 wait.append(record)
                 self._trace("arrive", event.cycle, job=record.job_id,
                             benchmark=record.abbr)
+                if self.log is not None:
+                    self.log.debug(
+                        "fleet.arrive", job_id=record.job_id,
+                        benchmark=record.abbr, now=event.cycle,
+                    )
                 if self.metrics is not None:
                     self._m_jobs.labels(event="arrived").inc()
 
@@ -572,12 +683,13 @@ class FleetSimulator:
                 break   # drained: nothing resident, queued or pending
 
             span = min(self.round_cycles, self.horizon_cycles - now)
+            executed = bool(active)
             if active:
                 if prof is not None:
                     with prof.span("fleet.execute"):
-                        outcomes = self._execute(active, span, rounds)
+                        outcomes = self._execute(active, span, rounds, now)
                 else:
-                    outcomes = self._execute(active, span, rounds)
+                    outcomes = self._execute(active, span, rounds, now)
                 departures += self._merge(outcomes, records_by_id, now, span)
                 stranded = sum(
                     self.tenants_per_node - len(n.resident) for n in active
@@ -612,6 +724,25 @@ class FleetSimulator:
                 ) / self.capacity
                 self._m_frag.set(frag_now)
                 self.metrics.epoch_boundary(rounds - 1, now)
+
+            if self.health is not None and executed:
+                stats = self.executor.last_stats
+                self.health.observe_round(
+                    rounds - 1,
+                    now=now,
+                    job_seconds=tuple(stats.job_seconds),
+                    wait_depth=len(wait),
+                    cache_hits=stats.cache_hits,
+                    cache_lookups=stats.jobs_total,
+                )
+
+            if self.log is not None:
+                self.log.info(
+                    "fleet.round", round=rounds - 1, now=now,
+                    wait=len(wait),
+                    resident=sum(len(n.resident) for n in self._nodes),
+                    departures=departures,
+                )
 
         energy = None
         if self.energy_model is not None:
@@ -651,6 +782,20 @@ class FleetSimulator:
         elapsed = max(1, now)
         from repro.telemetry.provenance import collect_provenance
 
+        health_report = (
+            self.health.report() if self.health is not None else None
+        )
+        if self.log is not None:
+            self.log.info(
+                "fleet.result", rounds=rounds,
+                arrivals=len(records), admissions=admissions,
+                departures=departures, migrations=migrations,
+                waiting_at_horizon=len(wait),
+                incidents=(
+                    len(health_report.incidents)
+                    if health_report is not None else None
+                ),
+            )
         return FleetResult(
             placement=self.placement,
             slicing=self.slicing,
@@ -676,6 +821,7 @@ class FleetSimulator:
                 placement=self.placement.value,
                 slicing=self.slicing,
             ),
+            health=health_report,
         )
 
     @property

@@ -58,10 +58,13 @@ class ClusterScheduler:
     """Place tenant jobs on a pool of GPU nodes and run them."""
 
     def __init__(self, num_nodes: int, config: Optional[GPUConfig] = None,
-                 tenants_per_node: int = 2, metrics=None) -> None:
+                 tenants_per_node: int = 2, metrics=None, log=None) -> None:
         """``metrics`` (a telemetry registry) counts placement outcomes
         and gauges per-node fragmentation (free slots / capacity) and
-        resident tenants after every admit/depart."""
+        resident tenants after every admit/depart.  ``log`` (an
+        :class:`~repro.obslog.ObsLogger` or a logger bound from one)
+        records each admit/reject/depart as a correlated JSONL event;
+        both default ``None`` for zero overhead."""
         if num_nodes <= 0:
             raise AllocationError("need at least one node")
         config = config if config is not None else GPUConfig()
@@ -72,6 +75,7 @@ class ClusterScheduler:
         ]
         self.perf = PerformanceModel(config)
         self.metrics = metrics
+        self.log = log
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -114,6 +118,11 @@ class ClusterScheduler:
         if len(jobs) > self.capacity - self.resident_jobs:
             if self.metrics is not None:
                 self._m_placements.labels(outcome="rejected").inc(len(jobs))
+            if self.log is not None:
+                self.log.warning(
+                    "cluster.reject_batch", jobs=len(jobs),
+                    capacity=self.capacity,
+                )
             raise AllocationError(
                 f"{len(jobs)} jobs exceed cluster capacity {self.capacity}"
             )
@@ -191,10 +200,21 @@ class ClusterScheduler:
         )
         if choice is None:
             self._note_placement(outcome="rejected")
+            if self.log is not None:
+                self.log.warning(
+                    "cluster.reject", job_id=job.app_id,
+                    policy=PlacementPolicy.parse(policy).value,
+                )
             raise AllocationError("cluster is full: no free slot for arrival")
         target = self.nodes[choice.node_id]
         target.place(job)
         self._note_placement()
+        if self.log is not None:
+            self.log.debug(
+                "cluster.admit", job_id=job.app_id,
+                node_id=target.node_id,
+                policy=PlacementPolicy.parse(policy).value,
+            )
         return target
 
     def depart(self, app_id: int) -> GPUNode:
@@ -203,6 +223,11 @@ class ClusterScheduler:
             if any(t.app_id == app_id for t in node.tenants):
                 node.remove(app_id)
                 self._note_placement(outcome="departed")
+                if self.log is not None:
+                    self.log.debug(
+                        "cluster.depart", job_id=app_id,
+                        node_id=node.node_id,
+                    )
                 return node
         raise AllocationError(f"app {app_id} is not resident in the cluster")
 

@@ -296,6 +296,73 @@ class FleetShardJob:
             for node in self.nodes
         ))
 
+    def run_observed(self, tracer=None, metrics=None,
+                     profiler=None) -> FleetShardResult:
+        """:meth:`run` with worker-side observability around each node.
+
+        The physics path is untouched — :func:`_run_node` stays pure;
+        instrumentation wraps it.  Trace timestamps are *round-relative*
+        cycles (node spans start at 0); the orchestrator re-anchors them
+        at the round's start cycle when it absorbs the envelope.  Event
+        and metric content depends only on the node/tenant structure,
+        never on worker identity or wall time, so serial and sharded
+        runs produce identical merged aggregates.
+        """
+        model = _model_for(self.config)
+        if metrics is not None:
+            from repro.telemetry import names as _names
+
+            m_node_rounds = _names.worker_node_rounds_total(metrics)
+            m_tenant_rounds = _names.worker_tenant_rounds_total(metrics)
+            m_instructions = _names.worker_instructions_total(metrics)
+            m_dram = _names.worker_dram_bytes_total(metrics)
+            m_departures = _names.worker_departures_total(metrics)
+            m_active = _names.worker_active_cycles_total(metrics)
+        outcomes = []
+        span = float(self.round_cycles)
+        for node in self.nodes:
+            if profiler is not None:
+                profiler.begin("worker.node")
+            outcome = _run_node(
+                model, self.config, node, self.round_cycles, self.slicing
+            )
+            if profiler is not None:
+                profiler.end("worker.node")
+            outcomes.append(outcome)
+            if tracer is not None:
+                tracer.emit(
+                    "node", f"node{node.node_id}",
+                    time=0.0, duration=span,
+                    node=node.node_id,
+                    tenants=len(outcome.tenants),
+                    instructions=outcome.instructions,
+                    dram_bytes=outcome.dram_bytes,
+                )
+                by_job = {t.job_id: t for t in node.tenants}
+                for tenant in outcome.tenants:
+                    tracer.emit(
+                        "node", by_job[tenant.job_id].abbr,
+                        time=0.0, duration=float(tenant.active_cycles),
+                        node=node.node_id,
+                        job_id=tenant.job_id,
+                        benchmark=by_job[tenant.job_id].abbr,
+                        retired=tenant.retired,
+                        departed=tenant.departed,
+                    )
+            if metrics is not None:
+                m_node_rounds.inc()
+                m_instructions.inc(float(outcome.instructions))
+                m_dram.inc(float(outcome.dram_bytes))
+                by_job = {t.job_id: t for t in node.tenants}
+                for tenant in outcome.tenants:
+                    m_tenant_rounds.labels(
+                        benchmark=by_job[tenant.job_id].abbr
+                    ).inc()
+                    m_active.inc(float(tenant.active_cycles))
+                    if tenant.departed:
+                        m_departures.inc()
+        return FleetShardResult(nodes=tuple(outcomes))
+
 
 def _run_node(model: PerformanceModel, config: GPUConfig,
               node: NodeShardState, span: int,

@@ -14,7 +14,14 @@ the benchmark harness, the examples) now shares:
 * :class:`ExecStats` — observable jobs/hits/wall-clock/percentiles.
 """
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import CACHE_SCHEMA, ResultCache
+from repro.exec.envelope import (
+    JobEnvelope,
+    ObsSnapshot,
+    execute_job_enveloped,
+    merge_envelopes,
+    worker_token,
+)
 from repro.exec.executor import SweepExecutor
 from repro.exec.jobs import SweepJob, execute_job, fingerprint
 from repro.exec.registry import (
@@ -27,13 +34,19 @@ from repro.exec.registry import (
 from repro.exec.stats import ExecStats
 
 __all__ = [
+    "CACHE_SCHEMA",
     "ExecStats",
+    "JobEnvelope",
+    "ObsSnapshot",
     "ResultCache",
     "SweepExecutor",
     "SweepJob",
     "canonical_policy_name",
     "execute_job",
+    "execute_job_enveloped",
     "fingerprint",
+    "merge_envelopes",
+    "worker_token",
     "policy_name_of",
     "register_policy",
     "registered_policies",

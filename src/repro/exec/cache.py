@@ -13,6 +13,22 @@ under a valid key, and any entry that fails to unpickle or fails its
 sanity check is deleted and reported as a miss — the executor simply
 recomputes.  Hit/miss/eviction counters make behaviour observable in
 :class:`~repro.exec.stats.ExecStats`.
+
+Payload schema
+--------------
+Entries carry an explicit ``schema`` integer (:data:`CACHE_SCHEMA`)
+alongside the package ``version``.  History:
+
+* **1** (implicit — the key was absent): ``{"version", "key",
+  "result"}``.
+* **2**: adds ``"schema"`` itself plus the optional worker-capture
+  fields ``"obs"`` (an :class:`~repro.exec.envelope.ObsSnapshot`) and
+  ``"origin"`` (the capturing worker's ``(pid, token)``).
+
+Entries predating the current schema are *stale data, not corruption*:
+they are discarded and counted in :attr:`ResultCache.schema_evictions`
+(then reported as an ordinary miss), never surfaced as unpickle
+errors.
 """
 
 from __future__ import annotations
@@ -29,6 +45,9 @@ from repro.errors import ConfigError
 
 _SUFFIX = ".pkl"
 _TMP_PREFIX = ".tmp-"
+
+#: Current payload schema (see the module docstring for the history).
+CACHE_SCHEMA = 2
 
 
 class ResultCache:
@@ -60,6 +79,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.schema_evictions = 0
 
     def _entries(self):
         """Finished entries only.  ``Path.glob`` matches dotfiles, so the
@@ -78,40 +98,92 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}{_SUFFIX}"
 
+    def _load(self, key: str):
+        """The full payload for ``key``, or None (no counters touched).
+
+        Distinguishes the failure modes the satellite contract cares
+        about: a payload from an older schema is *stale*, not corrupt —
+        it is discarded and counted in :attr:`schema_evictions` rather
+        than being surfaced as an unpickle error.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated pickle, foreign object: recompute.
+            self._discard(path)
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            # Pre-envelope entry (schema key absent) or a future schema.
+            self._discard(path)
+            self.schema_evictions += 1
+            return None
+        try:
+            result = payload["result"]
+            if payload["version"] != __version__ or not isinstance(
+                result, self.result_types
+            ):
+                raise ValueError("cache entry does not match this package")
+        except Exception:
+            self._discard(path)
+            return None
+        self._touch(path)
+        return payload
+
     def get(self, key: str):
         """Return the memoized result, or None (counting a miss).
 
         Corrupted or non-conforming entries are deleted so the slot is
         clean for the recomputed result.
         """
-        path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            result = payload["result"]
-            if payload["version"] != __version__ or not isinstance(
-                result, self.result_types
-            ):
-                raise ValueError("cache entry does not match this package")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Truncated pickle, foreign object, schema drift: recompute.
-            self._discard(path)
+        payload = self._load(key)
+        if payload is None:
             self.misses += 1
             return None
         self.hits += 1
-        self._touch(path)
-        return result
+        return payload["result"]
 
-    def put(self, key: str, result) -> None:
-        """Atomically persist ``result`` under ``key``."""
+    def get_envelope(self, key: str, require_obs: bool = False):
+        """The full payload dict (result + optional ``obs``/``origin``).
+
+        With ``require_obs``, an entry stored without a worker capture
+        counts as a miss — but stays on disk, still valid for callers
+        that only want the result.
+        """
+        payload = self._load(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        if require_obs and payload.get("obs") is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, result, obs=None, origin=None) -> None:
+        """Atomically persist ``result`` under ``key``.
+
+        ``obs`` (an :class:`~repro.exec.envelope.ObsSnapshot`) and
+        ``origin`` (the capturing worker's identity) ride along when a
+        capture-enabled run stores the entry, so a later run can replay
+        worker-side observability straight from the cache.
+        """
         if not isinstance(result, self.result_types):
             allowed = "/".join(t.__name__ for t in self.result_types)
             raise ConfigError(
                 f"cache stores {allowed}, got {type(result).__name__}")
-        payload = {"version": __version__, "key": key, "result": result}
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "key": key,
+            "result": result,
+        }
+        if obs is not None:
+            payload["obs"] = obs
+            payload["origin"] = origin
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
         )

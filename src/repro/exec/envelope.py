@@ -1,0 +1,169 @@
+"""Worker-side observability capture and the picklable job envelope.
+
+Since the sweep executor went multi-process, everything that actually
+runs — node physics, kernel advancement, cache behaviour — happens in
+pool workers where the orchestrator's tracer/metrics/profiler are
+``None``.  This module closes that gap without sharing any live object
+across the process boundary:
+
+* :func:`execute_job_enveloped` runs one job inside the worker with a
+  *fresh, bounded* :class:`~repro.trace.TraceRecorder`,
+  :class:`~repro.telemetry.MetricsRegistry` and
+  :class:`~repro.profiling.PhaseProfiler`, then snapshots all three
+  into an :class:`ObsSnapshot` — plain tuples, dicts and dataclasses,
+  picklable and cache-compatible;
+* the :class:`JobEnvelope` wraps the job result, its wall seconds, the
+  worker's OS pid and a stable per-process :func:`worker_token`;
+* :func:`merge_envelopes` folds a list of envelopes back into
+  orchestrator-side sinks, in job order, so merged aggregates are
+  deterministic (serial and ``--jobs N`` runs agree byte-for-byte).
+
+Jobs opt into capture by providing ``run_observed(tracer=, metrics=,
+profiler=)``; jobs without it run uninstrumented and return an empty
+snapshot.
+
+The worker token exists because the OS recycles pids: two different
+worker processes across rounds may share a pid, and keying trace tracks
+on the pid alone would interleave them.  The token is a per-process
+UUID (lazily regenerated after a fork), so every process lifetime gets
+its own identity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.profiling.profiler import PhaseProfiler
+from repro.telemetry.merge import merge_registry, snapshot_registry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+#: Ring-buffer bound for the per-job worker recorder.  A fleet shard
+#: emits one span per node plus one per tenant; 16Ki leaves headroom
+#: for two orders of magnitude more without letting a runaway job OOM
+#: the pool.
+WORKER_TRACE_CAPACITY = 16_384
+
+_TOKEN: Optional[Tuple[int, str]] = None
+
+
+def worker_token() -> str:
+    """A stable identity for this process lifetime (survives pid reuse).
+
+    Lazily minted on first use and re-minted if the pid changed (the
+    process was forked), so forked pool workers never inherit their
+    parent's identity.
+    """
+    global _TOKEN
+    pid = os.getpid()
+    if _TOKEN is None or _TOKEN[0] != pid:
+        _TOKEN = (pid, uuid.uuid4().hex[:12])
+    return _TOKEN[1]
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """Everything one job observed, frozen into picklable plain data."""
+
+    #: Worker trace events, timestamps in the job's native clock domain
+    #: (round-relative cycles for fleet shards).
+    events: Tuple[TraceEvent, ...] = ()
+    #: Events the worker ring evicted (truncation is never silent).
+    dropped: int = 0
+    #: :func:`~repro.telemetry.merge.snapshot_registry` output.
+    metrics: Tuple = ()
+    #: :meth:`~repro.profiling.PhaseProfiler.snapshot` output.
+    profile: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JobEnvelope:
+    """One job's result plus its worker-side observability capture."""
+
+    result: Any
+    seconds: float
+    pid: int
+    worker: str
+    obs: ObsSnapshot = field(default_factory=ObsSnapshot)
+    cached: bool = False
+
+
+def execute_job_enveloped(job, capture: bool = False) -> JobEnvelope:
+    """Run ``job`` in this process, optionally capturing observability.
+
+    Without ``capture`` this is :func:`~repro.exec.jobs.execute_job_timed`
+    in an envelope — the job runs the exact instructions it always ran.
+    With ``capture``, a fresh bounded recorder/registry/profiler observe
+    the run (via the job's ``run_observed`` hook when it has one) and
+    are snapshotted into the envelope.
+    """
+    if not capture:
+        start = time.perf_counter()
+        result = job.run()
+        seconds = time.perf_counter() - start
+        return JobEnvelope(
+            result=result, seconds=seconds,
+            pid=os.getpid(), worker=worker_token(),
+        )
+    tracer = TraceRecorder(capacity=WORKER_TRACE_CAPACITY)
+    metrics = MetricsRegistry()
+    profiler = PhaseProfiler()
+    run_observed = getattr(job, "run_observed", None)
+    start = time.perf_counter()
+    with profiler.span("worker.job"):
+        if run_observed is not None:
+            result = run_observed(
+                tracer=tracer, metrics=metrics, profiler=profiler
+            )
+        else:
+            result = job.run()
+    seconds = time.perf_counter() - start
+    obs = ObsSnapshot(
+        events=tuple(tracer.events()),
+        dropped=tracer.dropped,
+        metrics=tuple(snapshot_registry(metrics)),
+        profile=profiler.snapshot(),
+    )
+    return JobEnvelope(
+        result=result, seconds=seconds,
+        pid=os.getpid(), worker=worker_token(), obs=obs,
+    )
+
+
+def merge_envelopes(
+    envelopes: Sequence[Optional[JobEnvelope]],
+    tracer=None,
+    metrics=None,
+    profiler=None,
+    run_id: Optional[str] = None,
+    time_shift: float = 0.0,
+) -> int:
+    """Fold worker captures into orchestrator-side sinks, in job order.
+
+    Used by call sites whose jobs all share one time origin (the sweep
+    CLI); the fleet merges per round itself because each round has its
+    own time shift.  Returns the number of trace events absorbed.
+    """
+    absorbed = 0
+    for index, envelope in enumerate(envelopes):
+        if envelope is None or envelope.obs is None:
+            continue
+        obs = envelope.obs
+        if tracer is not None and obs.events:
+            absorbed += tracer.absorb(
+                obs.events,
+                time_shift=time_shift,
+                run_id=run_id,
+                shard_id=f"job{index}",
+                pid=envelope.pid,
+                worker=envelope.worker,
+            )
+        if metrics is not None and obs.metrics:
+            merge_registry(metrics, obs.metrics)
+        if profiler is not None and obs.profile:
+            profiler.absorb(obs.profile, prefix=("worker",))
+    return absorbed

@@ -143,6 +143,29 @@ class SweepJob:
         system = factory(apps, **self.kwargs_dict())
         return system.run(self.total_cycles, mix_name=self.mix_name)
 
+    def run_observed(self, tracer=None, metrics=None,
+                     profiler=None) -> SystemResult:
+        """:meth:`run` with observability sinks threaded into the runner.
+
+        The worker-capture hook: :func:`~repro.exec.envelope.
+        execute_job_enveloped` calls this with the worker's private
+        recorder/registry/profiler so the system's own instrumentation
+        lands in the envelope.  Explicit ``tracer``/``metrics``/
+        ``profiler`` kwargs on the job itself win — capture never
+        overrides a spec.
+        """
+        kwargs = self.kwargs_dict()
+        if tracer is not None:
+            kwargs.setdefault("tracer", tracer)
+        if metrics is not None:
+            kwargs.setdefault("metrics", metrics)
+        if profiler is not None:
+            kwargs.setdefault("profiler", profiler)
+        factory = resolve_policy(self.policy)
+        apps = build_mix(list(self.mix)).applications
+        system = factory(apps, **kwargs)
+        return system.run(self.total_cycles, mix_name=self.mix_name)
+
 
 def execute_job(job) -> Any:
     """Run one job to completion (the worker-side entry point).

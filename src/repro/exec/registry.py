@@ -54,6 +54,7 @@ RUNNER_KWARGS = frozenset(
         "arrivals",
         "max_slots",
         "metrics",
+        "profiler",
         "kernel_backend",
     }
 )

@@ -31,6 +31,9 @@ class ExecStats:
     jobs_run: int = 0
     cache_hits: int = 0
     cache_evictions: int = 0
+    #: Entries discarded because they predate the envelope schema
+    #: (stale data, not corruption — see repro.exec.cache.CACHE_SCHEMA).
+    cache_schema_evictions: int = 0
     wall_seconds: float = 0.0
     workers: int = 1
     job_seconds: List[float] = field(default_factory=list)
@@ -81,6 +84,7 @@ class ExecStats:
         self.jobs_run += other.jobs_run
         self.cache_hits += other.cache_hits
         self.cache_evictions += other.cache_evictions
+        self.cache_schema_evictions += other.cache_schema_evictions
         self.wall_seconds += other.wall_seconds
         self.workers = max(self.workers, other.workers)
         self.job_seconds.extend(other.job_seconds)
@@ -115,4 +119,6 @@ class ExecStats:
             )
         if self.cache_evictions:
             parts.append(f"evictions {self.cache_evictions}")
+        if self.cache_schema_evictions:
+            parts.append(f"schema evictions {self.cache_schema_evictions}")
         return "ExecStats: " + "  ".join(parts)

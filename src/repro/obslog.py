@@ -1,0 +1,275 @@
+"""Structured JSONL logging with fleet correlation IDs.
+
+The trace layer answers *when*, the metrics layer answers *how much*;
+this module answers *what happened, to which job, on which node, in
+which process* — the greppable narrative stream a production fleet
+operator tails.  It is built on the stdlib :mod:`logging` machinery (a
+private :class:`logging.Logger` feeding a :class:`JsonlHandler`), but
+every record is a flat JSON object rather than formatted text, so the
+stream is machine-parseable and the CI smoke test can validate it
+against the correlation-ID schema.
+
+Correlation fields
+------------------
+Every record carries ``run_id`` (one simulation run, derived from
+:func:`repro.telemetry.provenance.config_hash` so serial and sharded
+runs of the same configuration correlate) and ``pid`` (the emitting OS
+process).  Records scoped to a shard, node or job additionally carry
+``shard_id`` / ``node_id`` / ``job_id`` — the same IDs stamped onto
+merged trace events and worker metric snapshots, so one ``grep job_id``
+crosses all three streams.
+
+Like the ``tracer=None`` / ``metrics=None`` hooks, every instrumented
+component (:class:`~repro.cluster.fleet.FleetSimulator`,
+:class:`~repro.exec.executor.SweepExecutor`,
+:class:`~repro.cluster.scheduler.ClusterScheduler`,
+:class:`~repro.pagemove.engine.MigrationEngine`) defaults ``log=None``
+and guards each emission with one ``is not None`` check, keeping the
+disabled path byte-identical and overhead-free.
+
+Usage::
+
+    log = ObsLogger("fleet.log.jsonl", run_id=run_id)
+    fleet_log = log.bind(placement="least-fragmented")
+    fleet_log.info("fleet.round", round=3, wait=7)
+    log.close()
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Any, Callable, Dict, List, Union
+
+from repro.errors import TelemetryError
+
+#: The cross-stream correlation fields (also stamped onto merged trace
+#: events).  ``run_id`` and ``pid`` appear on every record; the rest
+#: appear whenever the record is scoped to a shard / node / job.
+CORRELATION_FIELDS = ("run_id", "shard_id", "node_id", "job_id", "pid")
+
+#: Fields every record must carry (the schema the CI smoke validates).
+REQUIRED_FIELDS = ("ts", "level", "event", "run_id", "pid")
+
+#: Expected JSON types for correlation fields, when present.
+_FIELD_TYPES = {
+    "run_id": str,
+    "shard_id": str,
+    "node_id": int,
+    "job_id": int,
+    "pid": int,
+}
+
+
+class JsonlHandler(logging.Handler):
+    """A :mod:`logging` handler that writes one JSON object per record.
+
+    The :class:`ObsLogger` attaches the pre-built mapping as
+    ``record.obs_record``; a record arriving without one (foreign
+    emitters sharing the handler) falls back to a minimal envelope so
+    the stream never mixes JSON with plain text.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        self._stream = open(path, "w", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, record: logging.LogRecord) -> None:
+        payload = getattr(record, "obs_record", None)
+        if payload is None:
+            payload = {
+                "ts": round(record.created, 6),
+                "level": record.levelname.lower(),
+                "event": record.getMessage(),
+                "pid": os.getpid(),
+            }
+        try:
+            line = json.dumps(payload, sort_keys=True, default=str)
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.records_written += 1
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+    def close(self) -> None:
+        try:
+            if not self._stream.closed:
+                self._stream.close()
+        finally:
+            super().close()
+
+
+class ObsLogger:
+    """Structured logger carrying a bound correlation context.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file (opened for writing; the owner's
+        :meth:`close` closes it).
+    run_id:
+        The run-level correlation ID stamped on every record.
+    level:
+        Minimum :mod:`logging` level (default ``DEBUG``: the file is
+        opt-in via ``--log-jsonl``, so it captures everything).
+    clock:
+        Injectable wall-clock (tests pass a fake for exact timestamps).
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        run_id: str,
+        level: int = logging.DEBUG,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not run_id:
+            raise TelemetryError("obslog needs a non-empty run_id")
+        self._clock = clock
+        logger = logging.Logger(f"repro.obslog.{run_id}", level)
+        logger.propagate = False
+        try:
+            handler = JsonlHandler(path)
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot open obslog file {path!r}: {exc}"
+            ) from exc
+        logger.addHandler(handler)
+        self._logger = logger
+        self._handler = handler
+        self._owner = True
+        self.context: Dict[str, Any] = {"run_id": str(run_id)}
+
+    @property
+    def run_id(self) -> str:
+        return self.context["run_id"]
+
+    @property
+    def records_written(self) -> int:
+        return self._handler.records_written
+
+    def bind(self, **fields: Any) -> "ObsLogger":
+        """A child view sharing the stream, with ``fields`` merged into
+        the correlation context (``None`` values are skipped).  Children
+        do not own the handler; only the constructing logger's
+        :meth:`close` closes the file."""
+        child = object.__new__(ObsLogger)
+        child._clock = self._clock
+        child._logger = self._logger
+        child._handler = self._handler
+        child._owner = False
+        child.context = dict(self.context)
+        for key, value in fields.items():
+            if value is not None:
+                child.context[key] = value
+        return child
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        """Emit one record: schema envelope + context + ``fields``.
+
+        ``None``-valued fields are dropped so call sites can pass
+        optional IDs unconditionally.
+        """
+        logger = self._logger
+        if not logger.isEnabledFor(level):
+            return
+        payload: Dict[str, Any] = {
+            "ts": round(float(self._clock()), 6),
+            "level": logging.getLevelName(level).lower(),
+            "event": str(event),
+            "pid": os.getpid(),
+        }
+        payload.update(self.context)
+        for key, value in fields.items():
+            if value is not None:
+                payload[key] = value
+        record = logger.makeRecord(
+            logger.name, level, __name__, 0, event, (), None,
+            extra={"obs_record": payload},
+        )
+        logger.handle(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(logging.WARNING, event, **fields)
+
+    def close(self) -> None:
+        """Flush and close the stream (no-op on a :meth:`bind` child)."""
+        if self._owner:
+            self._logger.removeHandler(self._handler)
+            self._handler.close()
+
+
+def read_obslog(path) -> List[Dict[str, Any]]:
+    """Read a JSONL log back into a list of record mappings.
+
+    Raises :class:`~repro.errors.TelemetryError` on malformed lines —
+    a log that cannot be parsed is a telemetry failure, not a config
+    problem.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TelemetryError(
+                    f"{path}:{line_no}: malformed obslog record: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TelemetryError(
+                    f"{path}:{line_no}: obslog record must be an object, "
+                    f"got {type(record).__name__}"
+                )
+            records.append(record)
+    return records
+
+
+def validate_obslog_file(path) -> int:
+    """Validate a JSONL log against the correlation-ID schema.
+
+    Every record must carry :data:`REQUIRED_FIELDS`; any correlation
+    field present must have its declared type.  Returns the record
+    count; raises :class:`~repro.errors.TelemetryError` naming the
+    first offending record.
+    """
+    records = read_obslog(path)
+    for number, record in enumerate(records, start=1):
+        for name in REQUIRED_FIELDS:
+            if name not in record:
+                raise TelemetryError(
+                    f"{path}: record {number} is missing required "
+                    f"field {name!r}"
+                )
+        for name, expected in _FIELD_TYPES.items():
+            value = record.get(name)
+            if value is None:
+                continue
+            if expected is int:
+                ok: Union[bool, Any] = (
+                    isinstance(value, int) and not isinstance(value, bool)
+                )
+            else:
+                ok = isinstance(value, expected)
+            if not ok:
+                raise TelemetryError(
+                    f"{path}: record {number} field {name!r} must be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+        if not record["run_id"]:
+            raise TelemetryError(
+                f"{path}: record {number} has an empty run_id"
+            )
+    return len(records)

@@ -135,11 +135,13 @@ class MigrationEngine:
         tracer=None,
         metrics=None,
         profiler=None,
+        log=None,
     ) -> None:
         self.driver = driver
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.log = log
         if metrics is not None:
             from repro.telemetry import names as _names
 
@@ -270,6 +272,13 @@ class MigrationEngine:
                 lost_channels=sorted(plan.lost_channels),
                 gained_channels=sorted(plan.gained_channels),
             )
+        if self.log is not None:
+            self.log.debug(
+                "pagemove.plan", job_id=app_id,
+                eager=len(plan.eager), lazy=len(plan.lazy),
+                lost=len(plan.lost_channels),
+                gained=len(plan.gained_channels),
+            )
         return plan
 
     # ------------------------------------------------------------------
@@ -348,6 +357,13 @@ class MigrationEngine:
             self._m_pages.labels(kind="eager").inc(len(plan.eager))
             self._m_pages.labels(kind="lazy").inc(len(lazy_moves))
             self._m_window.inc(report.window_cycles)
+        if self.log is not None:
+            self.log.info(
+                "pagemove.execute", job_id=app_id,
+                eager=len(plan.eager), lazy=len(lazy_moves),
+                window_cycles=round(report.window_cycles, 3),
+                l1_flushed=l1_flushed, l2_invalidated=l2_invalidated,
+            )
         return report
 
     def _check_capacity(self, plan: MigrationPlan, include_lazy: bool) -> None:

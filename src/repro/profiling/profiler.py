@@ -161,6 +161,44 @@ class PhaseProfiler:
         return _Span(self, name)
 
     # ------------------------------------------------------------------
+    # Cross-process snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Tuple[int, float]]:
+        """The aggregation as a picklable ``path -> (calls, cum)`` mapping.
+
+        Paths are ``"/"``-joined (phase names never contain ``/`` by
+        convention — the Chrome exporter already relies on that for its
+        ``path`` arg).  Raw span events are deliberately excluded: the
+        aggregate is what merges deterministically across processes.
+        """
+        self._check_closed()
+        return {
+            "/".join(path): (node.calls, node.cum_seconds)
+            for path, node in self._nodes.items()
+        }
+
+    def absorb(self, snapshot: Dict[str, Tuple[int, float]],
+               prefix: Tuple[str, ...] = ()) -> None:
+        """Fold a worker's :meth:`snapshot` into this profiler.
+
+        ``prefix`` grafts the worker's paths under an orchestrator span
+        (e.g. ``("fleet.execute",)``) so worker phases appear as
+        children of the span that dispatched them.  Iteration is sorted
+        by path so the merged node order — and therefore report order —
+        is deterministic regardless of worker scheduling.  Callable
+        mid-span: absorbing touches only the aggregation, never the
+        stack.
+        """
+        prefix = tuple(prefix)
+        for path_str, (calls, cum) in sorted(snapshot.items()):
+            path = prefix + tuple(path_str.split("/"))
+            node = self._nodes.get(path)
+            if node is None:
+                node = self._nodes[path] = _Node()
+            node.calls += int(calls)
+            node.cum_seconds += float(cum)
+
+    # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
     def _check_closed(self) -> None:

@@ -14,6 +14,7 @@ scrape-endpoint and CSV-series workflows.
 """
 
 from repro.telemetry.bridge import fold_exec_stats, registry_from_trace
+from repro.telemetry.merge import merge_registry, snapshot_registry
 from repro.telemetry.exposition import (
     BUILD_INFO_METRIC,
     parse_prometheus,
@@ -55,11 +56,13 @@ __all__ = [
     "collect_provenance",
     "config_hash",
     "fold_exec_stats",
+    "merge_registry",
     "parse_prometheus",
     "read_provenance",
     "read_series",
     "registry_from_trace",
     "series_values",
+    "snapshot_registry",
     "stamp",
     "to_json",
     "to_prometheus",

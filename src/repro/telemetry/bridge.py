@@ -126,6 +126,9 @@ def fold_exec_stats(registry: MetricsRegistry, stats) -> MetricsRegistry:
         max(0, stats.jobs_total - stats.cache_hits)
     )
     names.exec_cache_evictions_total(registry).inc(stats.cache_evictions)
+    names.exec_cache_schema_evictions_total(registry).inc(
+        getattr(stats, "cache_schema_evictions", 0)
+    )
     names.exec_wall_seconds_total(registry).inc(stats.wall_seconds)
     job_hist = names.exec_job_seconds(registry)
     for seconds in stats.job_seconds:

@@ -349,6 +349,7 @@ EXEC_JOBS_RUN_TOTAL = "repro_exec_jobs_run_total"
 EXEC_CACHE_HITS_TOTAL = "repro_exec_cache_hits_total"
 EXEC_CACHE_MISSES_TOTAL = "repro_exec_cache_misses_total"
 EXEC_CACHE_EVICTIONS_TOTAL = "repro_exec_cache_evictions_total"
+EXEC_CACHE_SCHEMA_EVICTIONS_TOTAL = "repro_exec_cache_schema_evictions_total"
 EXEC_JOB_SECONDS = "repro_exec_job_seconds"
 EXEC_WALL_SECONDS_TOTAL = "repro_exec_wall_seconds_total"
 
@@ -373,6 +374,13 @@ def exec_cache_evictions_total(reg: MetricsRegistry):
     return reg.counter(EXEC_CACHE_EVICTIONS_TOTAL, "Result-cache evictions.")
 
 
+def exec_cache_schema_evictions_total(reg: MetricsRegistry):
+    return reg.counter(
+        EXEC_CACHE_SCHEMA_EVICTIONS_TOTAL,
+        "Cache entries discarded because they predate the envelope schema.",
+    )
+
+
 def exec_job_seconds(reg: MetricsRegistry):
     return reg.histogram(
         EXEC_JOB_SECONDS, "In-worker seconds per executed job.",
@@ -382,6 +390,97 @@ def exec_job_seconds(reg: MetricsRegistry):
 
 def exec_wall_seconds_total(reg: MetricsRegistry):
     return reg.counter(EXEC_WALL_SECONDS_TOTAL, "End-to-end sweep wall seconds.")
+
+
+# --------------------------------------------------------------------- worker
+# Families captured *inside* pool workers by FleetShardJob.run_observed and
+# merged orchestrator-side (exact counter sums, deterministic in job order).
+WORKER_NODE_ROUNDS_TOTAL = "repro_worker_node_rounds_total"
+WORKER_TENANT_ROUNDS_TOTAL = "repro_worker_tenant_rounds_total"
+WORKER_INSTRUCTIONS_TOTAL = "repro_worker_instructions_total"
+WORKER_DRAM_BYTES_TOTAL = "repro_worker_dram_bytes_total"
+WORKER_DEPARTURES_TOTAL = "repro_worker_departures_total"
+WORKER_ACTIVE_CYCLES_TOTAL = "repro_worker_active_cycles_total"
+
+
+def worker_node_rounds_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_NODE_ROUNDS_TOTAL,
+        "Node-rounds simulated inside pool workers.",
+    )
+
+
+def worker_tenant_rounds_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_TENANT_ROUNDS_TOTAL,
+        "Tenant-rounds simulated inside pool workers, by benchmark.",
+        labels=("benchmark",),
+    )
+
+
+def worker_instructions_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_INSTRUCTIONS_TOTAL,
+        "Instructions retired by worker-side node physics.",
+    )
+
+
+def worker_dram_bytes_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_DRAM_BYTES_TOTAL,
+        "DRAM traffic accounted by worker-side node physics.",
+    )
+
+
+def worker_departures_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_DEPARTURES_TOTAL,
+        "Tenants that retired their budget inside a worker round.",
+    )
+
+
+def worker_active_cycles_total(reg: MetricsRegistry):
+    return reg.counter(
+        WORKER_ACTIVE_CYCLES_TOTAL,
+        "Tenant-active cycles accumulated inside worker rounds.",
+    )
+
+
+# --------------------------------------------------------------------- health
+HEALTH_INCIDENTS_TOTAL = "repro_health_incidents_total"
+HEALTH_STRAGGLER_RATIO = "repro_health_straggler_ratio"
+HEALTH_WAIT_STALL_ROUNDS = "repro_health_wait_stall_rounds"
+HEALTH_CACHE_HIT_RATE = "repro_health_cache_hit_rate"
+
+
+def health_incidents_total(reg: MetricsRegistry):
+    return reg.counter(
+        HEALTH_INCIDENTS_TOTAL,
+        "Fleet health incidents by kind "
+        "(straggler / wait_stall / cache_collapse).",
+        labels=("kind",),
+    )
+
+
+def health_straggler_ratio(reg: MetricsRegistry):
+    return reg.gauge(
+        HEALTH_STRAGGLER_RATIO,
+        "Worst worker wall-time / round median (sampled per round).",
+    )
+
+
+def health_wait_stall_rounds(reg: MetricsRegistry):
+    return reg.gauge(
+        HEALTH_WAIT_STALL_ROUNDS,
+        "Consecutive rounds of monotonically rising wait-queue depth.",
+    )
+
+
+def health_cache_hit_rate(reg: MetricsRegistry):
+    return reg.gauge(
+        HEALTH_CACHE_HIT_RATE,
+        "Windowed shard-cache hit rate observed by the health monitor.",
+    )
 
 
 # ------------------------------------------------------------ perf-model memo

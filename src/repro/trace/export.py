@@ -63,12 +63,41 @@ def read_jsonl(path: PathLike) -> List[TraceEvent]:
 # ----------------------------------------------------------------------
 # Chrome trace (chrome://tracing, Perfetto)
 # ----------------------------------------------------------------------
-def _tid_table(events: Sequence[TraceEvent]) -> Dict[tuple, int]:
-    """Stable row ids: one row per (category, app_id-or-None), in first-
+def _pid_table(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """Stable Chrome pids for merged multi-process events.
+
+    Events absorbed from pool workers carry a ``worker`` token — a
+    per-process UUID, *not* the OS pid, because the OS recycles pids
+    across rounds and keying on one would interleave two different
+    workers' spans onto one track.  Each distinct token gets Chrome pid
+    1..N in first-appearance order; pid 0 is the orchestrator.
+    """
+    table: Dict[str, int] = {}
+    for event in events:
+        token = event.args.get("worker")
+        if token is not None and token not in table:
+            table[token] = len(table) + 1
+    return table
+
+
+def _row_key(event: TraceEvent, pids: Dict[str, int]) -> tuple:
+    """(chrome_pid, category, sub-row) — the track an event renders on."""
+    pid = pids.get(event.args.get("worker"), 0)
+    if event.category == "node":
+        sub = event.args.get("node")
+    else:
+        sub = event.args.get("app_id")
+    return (pid, event.category, sub)
+
+
+def _tid_table(
+    events: Sequence[TraceEvent], pids: Dict[str, int]
+) -> Dict[tuple, int]:
+    """Stable row ids, one per (pid, category, sub-row), in first-
     appearance order so the Perfetto track layout is deterministic."""
     table: Dict[tuple, int] = {}
     for event in events:
-        row = (event.category, event.args.get("app_id"))
+        row = _row_key(event, pids)
         if row not in table:
             table[row] = len(table)
     return table
@@ -80,24 +109,51 @@ def chrome_trace(
     """Build the Chrome-trace JSON object for ``events``.
 
     The result loads directly in ``chrome://tracing`` and Perfetto.
+    Merged multi-process traces (fleet runs with worker capture) place
+    orchestrator events on pid 0 and each worker's events on its own
+    pid track, named after the worker's OS pid; single-process traces
+    keep the original pid-0-only layout.
     """
     if clock_ghz <= 0:
         raise ConfigError(f"clock_ghz must be positive, got {clock_ghz}")
     cycles_per_us = clock_ghz * 1000.0
-    rows = _tid_table(events)
+    pids = _pid_table(events)
+    rows = _tid_table(events, pids)
     trace_events: List[Dict[str, Any]] = []
-    for (category, app_id), tid in sorted(rows.items(), key=lambda kv: kv[1]):
-        label = category if app_id is None else f"{category} (app {app_id})"
+    if pids:
         trace_events.append({
-            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": "orchestrator"},
+        })
+        os_pids: Dict[str, Any] = {}
+        for event in events:
+            token = event.args.get("worker")
+            if token is not None and token not in os_pids:
+                os_pids[token] = event.args.get("pid")
+        for token, chrome_pid in sorted(pids.items(), key=lambda kv: kv[1]):
+            trace_events.append({
+                "ph": "M", "pid": chrome_pid, "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"worker-{chrome_pid} (pid {os_pids[token]})"},
+            })
+    for (pid, category, sub), tid in sorted(rows.items(), key=lambda kv: kv[1]):
+        if sub is None:
+            label = category
+        elif category == "node":
+            label = f"node {sub}"
+        else:
+            label = f"{category} (app {sub})"
+        trace_events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
             "args": {"name": label},
         })
     for event in events:
-        tid = rows[(event.category, event.args.get("app_id"))]
+        pid, _, _ = row = _row_key(event, pids)
+        tid = rows[row]
         record: Dict[str, Any] = {
             "name": event.name,
             "cat": event.category,
-            "pid": 0,
+            "pid": pid,
             "tid": tid,
             "ts": event.time / cycles_per_us,
             "args": dict(event.args),

@@ -60,6 +60,9 @@ class TraceCategory(str, enum.Enum):
     ADMISSION = "admission"  #: open-system job admitted to a slice
     DEPARTURE = "departure"  #: open-system job retired its budget
     PHASE = "phase"          #: host-time simulator phases (PhaseProfiler)
+    FLEET = "fleet"          #: fleet-coordinator lifecycle (arrive/admit/...)
+    NODE = "node"            #: worker-side node-physics spans (fleet shards)
+    HEALTH = "health"        #: fleet health-monitor incidents
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -227,6 +230,52 @@ class TraceRecorder:
         self._buffer.append(event)
         self.emitted += 1
         return event
+
+    def absorb(
+        self,
+        events: Iterable[TraceEvent],
+        time_shift: float = 0.0,
+        **extra: Any,
+    ) -> int:
+        """Merge events captured elsewhere (another process) into this ring.
+
+        Each absorbed event is re-sequenced into this recorder's order,
+        shifted by ``time_shift`` (e.g. a worker's round-relative cycle
+        times re-anchored at the orchestrator's round start), and
+        stamped with the ``extra`` correlation args (``run_id`` /
+        ``shard_id`` / ``pid`` / ...) — without overriding args the
+        worker already set.  The category filter, ring bound and
+        counters apply exactly as for :meth:`emit`.  Returns the number
+        of events accepted.
+        """
+        if not self.enabled:
+            return 0
+        absorbed = 0
+        for event in events:
+            value = _category_value(event.category)
+            if self.categories is not None and value not in self.categories:
+                self.filtered += 1
+                continue
+            args = dict(event.args)
+            for key, val in extra.items():
+                if val is not None:
+                    args.setdefault(key, val)
+            merged = TraceEvent(
+                seq=self._seq,
+                time=event.time + float(time_shift),
+                category=value,
+                name=event.name,
+                kind=event.kind,
+                duration=event.duration,
+                args=args,
+            )
+            self._seq += 1
+            if len(self._buffer) == self.capacity:
+                self.dropped += 1
+            self._buffer.append(merged)
+            self.emitted += 1
+            absorbed += 1
+        return absorbed
 
     def events(
         self, category: Optional[Union[str, TraceCategory]] = None

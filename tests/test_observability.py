@@ -1,0 +1,597 @@
+"""Cross-process fleet observability: worker capture, merged streams,
+structured logging, and the health monitor.
+
+The tentpole invariant under test: a sharded fleet run (``jobs=2``,
+real pool processes) produces the *same* merged observability as the
+serial run — byte-identical metrics exposition, the same node-physics
+spans on the same timeline — with every absorbed event carrying the
+correlation IDs (``run_id`` / ``shard_id`` / ``pid`` / ``worker``)
+that let one Chrome trace show orchestrator and workers on aligned
+tracks.
+"""
+
+import pickle
+
+import pytest
+
+from repro import __version__
+from repro.cluster import FleetHealthMonitor, FleetSimulator, PlacementPolicy
+from repro.cluster.health import (
+    KIND_CACHE_COLLAPSE,
+    KIND_STRAGGLER,
+    KIND_WAIT_STALL,
+)
+from repro.errors import ConfigError, TelemetryError
+from repro.exec import (
+    CACHE_SCHEMA,
+    ResultCache,
+    SweepExecutor,
+    SweepJob,
+    execute_job_enveloped,
+    merge_envelopes,
+)
+from repro.obslog import (
+    REQUIRED_FIELDS,
+    ObsLogger,
+    read_obslog,
+    validate_obslog_file,
+)
+from repro.profiling import PhaseProfiler
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    merge_registry,
+    snapshot_registry,
+    to_prometheus,
+)
+from repro.trace import KIND_SPAN, TraceEvent, TraceRecorder, chrome_trace
+from repro.workloads import poisson_arrivals
+
+CYCLES = 10_000_000
+SMALL_JOB = SweepJob.build("bp", ("PVC", "DXTC"), 2_000_000)
+
+
+def run_fleet(jobs: int, *, capture=None, health=None, log=None):
+    """One tiny fleet run; returns (result, registry, recorder)."""
+    registry = MetricsRegistry()
+    recorder = TraceRecorder()
+    schedule = poisson_arrivals(
+        mean_interarrival_cycles=500_000,
+        horizon_cycles=CYCLES,
+        seed=0,
+        instructions_per_kernel=50_000_000,
+    )
+    with SweepExecutor(jobs=jobs) as executor:
+        simulator = FleetSimulator(
+            4,
+            schedule,
+            PlacementPolicy.LEAST_FRAGMENTED,
+            horizon_cycles=CYCLES,
+            instructions_per_kernel=50_000_000,
+            executor=executor,
+            metrics=registry,
+            tracer=recorder,
+            capture=capture,
+            health=health,
+            log=log,
+        )
+        result = simulator.run()
+    return result, registry, recorder
+
+
+# ----------------------------------------------------------------------
+# Tentpole: serial and sharded runs merge to identical aggregates
+# ----------------------------------------------------------------------
+class TestWorkerCaptureRoundTrip:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_fleet(1)
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        return run_fleet(2)
+
+    def test_results_byte_identical(self, serial, sharded):
+        assert serial[0].summary() == sharded[0].summary()
+
+    def test_merged_metrics_byte_identical(self, serial, sharded):
+        # The full exposition — fleet gauges plus merged worker_*
+        # counters — must agree byte-for-byte, because worker families
+        # are counters folded in deterministic job order.
+        assert to_prometheus(serial[1]) == to_prometheus(sharded[1])
+        text = to_prometheus(serial[1])
+        assert "repro_worker_node_rounds_total" in text
+        assert "repro_worker_instructions_total" in text
+
+    def test_node_spans_identical_on_the_merged_timeline(
+        self, serial, sharded
+    ):
+        def physics(recorder):
+            return [
+                (e.time, e.name, e.duration, e.args.get("node"),
+                 e.args.get("job_id"))
+                for e in recorder.events()
+                if e.category == "node"
+            ]
+
+        spans = physics(serial[2])
+        assert spans  # worker node-physics spans made it across
+        assert spans == physics(sharded[2])
+
+    def test_absorbed_events_carry_correlation_ids(self, sharded):
+        result, _, recorder = sharded
+        node_events = recorder.events("node")
+        assert node_events
+        for event in node_events:
+            assert event.args["run_id"]
+            assert event.args["shard_id"].startswith("r")
+            assert event.args["pid"] > 0
+            assert event.args["worker"]
+
+    def test_worker_timestamps_reanchored_at_round_start(self, serial):
+        _, _, recorder = serial
+        # Round-relative worker cycles were shifted onto the fleet
+        # timeline: later rounds' node spans start at later cycles.
+        starts = sorted({e.time for e in recorder.events("node")})
+        assert len(starts) > 1
+        assert starts[-1] > starts[0] >= 0.0
+
+    def test_capture_off_means_no_worker_events(self):
+        _, registry, recorder = run_fleet(1, capture=False)
+        assert recorder.events("node") == []
+        assert "repro_worker" not in to_prometheus(registry)
+
+
+# ----------------------------------------------------------------------
+# Envelope pickling + cache schema compatibility (satellite b)
+# ----------------------------------------------------------------------
+class TestEnvelopeAndCache:
+    def test_envelope_pickle_round_trip(self):
+        envelope = execute_job_enveloped(SMALL_JOB, capture=True)
+        clone = pickle.loads(pickle.dumps(envelope))
+        assert clone.result == envelope.result
+        assert clone.pid == envelope.pid
+        assert clone.worker == envelope.worker
+        assert clone.obs.events == envelope.obs.events
+        assert clone.obs.metrics == envelope.obs.metrics
+        assert clone.obs.profile == envelope.obs.profile
+        assert "worker.job" in clone.obs.profile
+
+    def test_cache_envelope_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        envelope = execute_job_enveloped(SMALL_JOB, capture=True)
+        cache.put(SMALL_JOB.key(), envelope.result, obs=envelope.obs,
+                  origin=(envelope.pid, envelope.worker))
+        payload = cache.get_envelope(SMALL_JOB.key(), require_obs=True)
+        assert payload["schema"] == CACHE_SCHEMA
+        assert payload["result"] == envelope.result
+        assert payload["obs"].events == envelope.obs.events
+        assert payload["origin"] == (envelope.pid, envelope.worker)
+        assert cache.hits == 1
+
+    def test_pre_schema_entry_is_a_schema_eviction_not_an_error(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        result = SMALL_JOB.run()
+        # A payload written before the envelope schema existed: valid
+        # version, valid result, but no "schema" key.
+        with open(cache.path_for(SMALL_JOB.key()), "wb") as handle:
+            pickle.dump(
+                {"version": __version__, "key": SMALL_JOB.key(),
+                 "result": result},
+                handle,
+            )
+        assert cache.get(SMALL_JOB.key()) is None
+        assert cache.misses == 1
+        assert cache.schema_evictions == 1
+        assert not cache.path_for(SMALL_JOB.key()).exists()
+
+    def test_require_obs_misses_without_discarding(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SMALL_JOB.key(), SMALL_JOB.run())  # no capture
+        assert cache.get_envelope(SMALL_JOB.key(), require_obs=True) is None
+        assert cache.misses == 1
+        # The entry is still valid for result-only callers.
+        assert cache.get(SMALL_JOB.key()) is not None
+
+    def test_executor_replays_capture_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = SweepExecutor(cache=cache, capture=True)
+        first.run([SMALL_JOB])
+        assert first.last_stats.jobs_run == 1
+        fresh = first.last_envelopes[0]
+        assert fresh is not None and not fresh.cached
+
+        second = SweepExecutor(cache=cache, capture=True)
+        second.run([SMALL_JOB])
+        assert second.last_stats.cache_hits == 1
+        replayed = second.last_envelopes[0]
+        assert replayed.cached
+        assert replayed.obs.events == fresh.obs.events
+        assert (replayed.pid, replayed.worker) == (fresh.pid, fresh.worker)
+
+    def test_merged_trace_count_equals_sum_of_parts(self):
+        executor = SweepExecutor(capture=True)
+        jobs = [SMALL_JOB, SweepJob.build("ugpu", ("PVC", "DXTC"), 2_000_000)]
+        executor.run(jobs)
+        recorder = TraceRecorder()
+        absorbed = merge_envelopes(
+            executor.last_envelopes, tracer=recorder, run_id="r" * 16
+        )
+        expected = sum(
+            len(e.obs.events) for e in executor.last_envelopes if e is not None
+        )
+        assert absorbed == expected == len(recorder.events())
+        shard_ids = {e.args["shard_id"] for e in recorder.events()}
+        assert shard_ids == {"job0", "job1"}
+
+    def test_schema_evictions_surface_in_exec_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with open(cache.path_for(SMALL_JOB.key()), "wb") as handle:
+            pickle.dump({"version": __version__, "result": None}, handle)
+        executor = SweepExecutor(cache=cache)
+        executor.run([SMALL_JOB])
+        assert executor.last_stats.cache_schema_evictions == 1
+        assert "schema evictions 1" in executor.last_stats.format()
+
+
+# ----------------------------------------------------------------------
+# Registry snapshot/merge (satellite a)
+# ----------------------------------------------------------------------
+class TestRegistryMerge:
+    def test_counters_merge_to_exact_sums(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("repro_t_total", "t").inc(2.0)
+        worker.counter("repro_t_total", "t").inc(3.0)
+        merge_registry(parent, snapshot_registry(worker))
+        assert parent.get("repro_t_total").value == 5.0
+
+    def test_labeled_counters_merge_per_child(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        fam = worker.counter("repro_t_total", "t", labels=("k",))
+        fam.labels(k="a").inc(1)
+        fam.labels(k="b").inc(2)
+        merge_registry(parent, snapshot_registry(worker))
+        merge_registry(parent, snapshot_registry(worker))
+        merged = {
+            labels: child.value
+            for labels, child in parent.get("repro_t_total").samples()
+        }
+        assert merged[("a",)] == 2.0
+        assert merged[("b",)] == 4.0
+
+    def test_histograms_merge_bucketwise(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        buckets = (1.0, 10.0)
+        parent.histogram("repro_h", "h", buckets=buckets).observe(0.5)
+        worker.histogram("repro_h", "h", buckets=buckets).observe(5.0)
+        merge_registry(parent, snapshot_registry(worker))
+        hist = parent.get("repro_h").labels()
+        assert hist.count == 2
+        assert hist.sum == 5.5
+
+    def test_conflicting_buckets_raise_named_telemetry_error(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("repro_h", "h", buckets=(1.0, 10.0))
+        worker.histogram("repro_h", "h", buckets=(2.0, 20.0))
+        with pytest.raises(TelemetryError, match="repro_h"):
+            merge_registry(parent, snapshot_registry(worker))
+
+    def test_conflicting_kind_raises(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("repro_x", "x")
+        worker.gauge("repro_x", "x")
+        with pytest.raises(TelemetryError, match="repro_x"):
+            merge_registry(parent, snapshot_registry(worker))
+
+    def test_conflicting_labels_raise(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("repro_x", "x", labels=("a",))
+        worker.counter("repro_x", "x", labels=("b",))
+        worker.get("repro_x").labels(b="1").inc()
+        with pytest.raises(TelemetryError, match="repro_x"):
+            merge_registry(parent, snapshot_registry(worker))
+
+    def test_gauge_merge_is_last_write_wins(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("repro_g", "g").set(1.0)
+        worker.gauge("repro_g", "g").set(9.0)
+        merge_registry(parent, snapshot_registry(worker))
+        assert parent.get("repro_g").value == 9.0
+
+    def test_null_registry_merge_is_a_noop(self):
+        worker = MetricsRegistry()
+        worker.counter("repro_t_total", "t").inc()
+        assert merge_registry(NullRegistry(), snapshot_registry(worker)) == 0
+        assert merge_registry(None, snapshot_registry(worker)) == 0
+
+
+# ----------------------------------------------------------------------
+# TraceRecorder.absorb
+# ----------------------------------------------------------------------
+class TestRecorderAbsorb:
+    def _worker_events(self):
+        worker = TraceRecorder()
+        worker.emit("node", "node0", time=10.0, duration=5.0, node=0)
+        worker.emit("node", "PVC", time=0.0, duration=3.0, node=0, job_id=7)
+        return worker.events()
+
+    def test_absorb_shifts_stamps_and_resequences(self):
+        recorder = TraceRecorder()
+        recorder.emit("fleet", "arrive", time=1.0)
+        count = recorder.absorb(
+            self._worker_events(), time_shift=100.0,
+            run_id="deadbeef", shard_id="r0.s0", pid=1234, worker="tok",
+        )
+        assert count == 2
+        events = recorder.events()
+        assert [e.seq for e in events] == [0, 1, 2]
+        absorbed = events[1]
+        assert absorbed.time == 110.0
+        assert absorbed.duration == 5.0
+        assert absorbed.args["run_id"] == "deadbeef"
+        assert absorbed.args["pid"] == 1234
+        # Worker-set args are preserved, not overridden.
+        assert absorbed.args["node"] == 0
+
+    def test_absorb_respects_category_filter(self):
+        recorder = TraceRecorder(categories=["fleet"])
+        assert recorder.absorb(self._worker_events()) == 0
+        assert recorder.filtered == 2
+
+    def test_absorb_skips_none_correlation_values(self):
+        recorder = TraceRecorder()
+        recorder.absorb(self._worker_events(), run_id=None, pid=9)
+        assert "run_id" not in recorder.events()[0].args
+        assert recorder.events()[0].args["pid"] == 9
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace track stability (satellite c)
+# ----------------------------------------------------------------------
+class TestChromeTracks:
+    def _span(self, seq, token, os_pid, node):
+        return TraceEvent(
+            seq=seq, time=float(seq), category="node", name=f"node{node}",
+            kind=KIND_SPAN, duration=1.0,
+            args={"worker": token, "pid": os_pid, "node": node},
+        )
+
+    def test_pid_reuse_does_not_interleave_tracks(self):
+        # Two different worker lifetimes sharing one recycled OS pid
+        # must still land on two distinct Chrome process tracks.
+        events = [self._span(0, "tok-a", 42, 0), self._span(1, "tok-b", 42, 1)]
+        doc = chrome_trace(events)
+        spans = [r for r in doc["traceEvents"] if r.get("ph") == "X"]
+        assert {r["pid"] for r in spans} == {1, 2}
+        names = [
+            r["args"]["name"] for r in doc["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "process_name"
+        ]
+        assert names == [
+            "orchestrator", "worker-1 (pid 42)", "worker-2 (pid 42)"
+        ]
+
+    def test_workerless_trace_keeps_the_single_process_layout(self):
+        events = [
+            TraceEvent(seq=0, time=0.0, category="epoch", name="epoch"),
+        ]
+        doc = chrome_trace(events)
+        assert all(r["pid"] == 0 for r in doc["traceEvents"])
+        assert not any(
+            r.get("ph") == "M" and r["name"] == "process_name"
+            for r in doc["traceEvents"]
+        )
+
+    def test_node_rows_labeled_per_node(self):
+        events = [self._span(0, "tok", 1, 0), self._span(1, "tok", 1, 3)]
+        labels = [
+            r["args"]["name"] for r in chrome_trace(events)["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "thread_name"
+        ]
+        assert labels == ["node 0", "node 3"]
+
+
+# ----------------------------------------------------------------------
+# Structured logging (obslog)
+# ----------------------------------------------------------------------
+class TestObsLogger:
+    def test_round_trip_and_validation(self, tmp_path):
+        path = tmp_path / "run.log.jsonl"
+        log = ObsLogger(path, run_id="cafe" * 4, clock=lambda: 12.5)
+        bound = log.bind(shard_id="r0.s1", node_id=3)
+        log.info("fleet.run", nodes=4)
+        bound.debug("fleet.round", job_id=9, wait=0)
+        bound.warning("health.straggler", detail="slow")
+        log.close()
+
+        assert validate_obslog_file(path) == 3
+        records = read_obslog(path)
+        assert [r["event"] for r in records] == [
+            "fleet.run", "fleet.round", "health.straggler"
+        ]
+        for record in records:
+            for name in REQUIRED_FIELDS:
+                assert name in record
+            assert record["run_id"] == "cafe" * 4
+            assert record["ts"] == 12.5
+        assert records[1]["shard_id"] == "r0.s1"
+        assert records[1]["node_id"] == 3
+        assert records[1]["job_id"] == 9
+        assert "shard_id" not in records[0]
+        assert log.records_written == 3
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        path = tmp_path / "run.log.jsonl"
+        log = ObsLogger(path, run_id="r" * 16)
+        log.info("x", job_id=None, wait=2)
+        log.close()
+        record = read_obslog(path)[0]
+        assert "job_id" not in record and record["wait"] == 2
+
+    def test_empty_run_id_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            ObsLogger(tmp_path / "x.jsonl", run_id="")
+
+    def test_malformed_line_raises_telemetry_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(TelemetryError, match="bad.jsonl:2"):
+            read_obslog(path)
+
+    def test_validation_flags_missing_and_mistyped_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0, "level": "info", "event": "x"}\n')
+        with pytest.raises(TelemetryError, match="run_id"):
+            validate_obslog_file(path)
+        path.write_text(
+            '{"ts": 1.0, "level": "info", "event": "x", '
+            '"run_id": "r", "pid": "not-an-int"}\n'
+        )
+        with pytest.raises(TelemetryError, match="pid"):
+            validate_obslog_file(path)
+
+    def test_fleet_run_emits_correlated_records(self, tmp_path):
+        path = tmp_path / "fleet.log.jsonl"
+        log = ObsLogger(path, run_id="f" * 16)
+        run_fleet(1, log=log)
+        log.close()
+        records = read_obslog(path)
+        assert validate_obslog_file(path) == len(records) > 0
+        events = {r["event"] for r in records}
+        assert {"fleet.run", "fleet.round", "fleet.result"} <= events
+        rounds = [r for r in records if r["event"] == "fleet.round"]
+        # The simulator re-binds its own deterministic run_id.
+        assert all(len(r["run_id"]) == 16 for r in rounds)
+        assert len({r["run_id"] for r in rounds}) == 1
+
+
+# ----------------------------------------------------------------------
+# PhaseProfiler snapshot/absorb
+# ----------------------------------------------------------------------
+class TestProfilerMerge:
+    def test_absorb_grafts_under_prefix(self):
+        worker = PhaseProfiler()
+        with worker.span("job"):
+            with worker.span("node"):
+                pass
+        snapshot = worker.snapshot()
+        assert set(snapshot) == {"job", "job/node"}
+
+        parent = PhaseProfiler()
+        with parent.span("fleet.execute"):
+            pass
+        parent.absorb(snapshot, prefix=("fleet.execute",))
+        parent.absorb(snapshot, prefix=("fleet.execute",))
+        merged = parent.snapshot()
+        assert merged["fleet.execute/job"][0] == 2
+        assert merged["fleet.execute/job/node"][0] == 2
+
+
+# ----------------------------------------------------------------------
+# Health monitor (synthetic round feeds)
+# ----------------------------------------------------------------------
+class TestHealthMonitor:
+    def test_straggler_detection(self):
+        monitor = FleetHealthMonitor()
+        fired = monitor.observe_round(
+            0, job_seconds=(0.1, 0.1, 0.1, 1.0)
+        )
+        assert [i.kind for i in fired] == [KIND_STRAGGLER]
+        assert fired[0].value == pytest.approx(10.0)
+        assert "10.0x" in fired[0].detail
+
+    def test_straggler_needs_enough_samples_and_magnitude(self):
+        monitor = FleetHealthMonitor()
+        # Two samples: no median worth trusting.
+        assert monitor.observe_round(0, job_seconds=(0.1, 1.0)) == []
+        # Microsecond noise below straggler_min_seconds never alarms.
+        assert monitor.observe_round(
+            1, job_seconds=(1e-6, 1e-6, 1e-6, 1e-4)
+        ) == []
+
+    def test_wait_stall_fires_and_rearms(self):
+        monitor = FleetHealthMonitor(stall_rounds=3)
+        fired = []
+        for round_index, depth in enumerate((1, 2, 3, 4, 5, 6, 7, 8)):
+            fired.extend(
+                monitor.observe_round(round_index, wait_depth=depth)
+            )
+        # Window of 4 depths fills at round 3 and re-arms after firing,
+        # so the second alarm needs another full window.
+        assert [i.kind for i in fired] == [KIND_WAIT_STALL] * 2
+        assert [i.round_index for i in fired] == [3, 7]
+
+    def test_draining_queue_never_stalls(self):
+        monitor = FleetHealthMonitor(stall_rounds=3)
+        for round_index, depth in enumerate((5, 4, 5, 4, 5, 4, 5)):
+            assert monitor.observe_round(round_index, wait_depth=depth) == []
+
+    def test_cache_collapse_needs_an_established_baseline(self):
+        monitor = FleetHealthMonitor(cache_window=4)
+        # Hit rate is zero from the start: never a collapse, there was
+        # no baseline to fall from.
+        for round_index in range(12):
+            assert monitor.observe_round(
+                round_index, cache_hits=0, cache_lookups=4
+            ) == []
+
+    def test_cache_collapse_detection(self):
+        monitor = FleetHealthMonitor(cache_window=4)
+        incidents = []
+        for round_index in range(4):
+            incidents += monitor.observe_round(
+                round_index, cache_hits=4, cache_lookups=4
+            )
+        for round_index in range(4, 8):
+            incidents += monitor.observe_round(
+                round_index, cache_hits=0, cache_lookups=4
+            )
+        assert [i.kind for i in incidents] == [KIND_CACHE_COLLAPSE]
+        assert incidents[0].round_index == 7
+
+    def test_report_format_and_counts(self):
+        monitor = FleetHealthMonitor()
+        monitor.observe_round(0, job_seconds=(0.1, 0.1, 0.1, 1.0))
+        report = monitor.report()
+        assert not report.healthy
+        assert report.counts() == {KIND_STRAGGLER: 1}
+        assert "straggler x1" in report.format()
+        healthy = FleetHealthMonitor().report()
+        assert healthy.healthy and "no incidents" in healthy.format()
+
+    def test_incidents_surface_in_all_three_streams(self, tmp_path):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder()
+        log = ObsLogger(tmp_path / "h.jsonl", run_id="h" * 16)
+        monitor = FleetHealthMonitor(
+            metrics=registry, tracer=recorder, log=log
+        )
+        monitor.run_id = "h" * 16
+        monitor.observe_round(3, now=7.0, job_seconds=(0.1, 0.1, 0.1, 1.0))
+        log.close()
+        text = to_prometheus(registry)
+        assert 'repro_health_incidents_total{kind="straggler"} 1' in text
+        events = recorder.events("health")
+        assert len(events) == 1
+        assert events[0].name == KIND_STRAGGLER
+        assert events[0].args["run_id"] == "h" * 16
+        records = read_obslog(tmp_path / "h.jsonl")
+        assert records[0]["event"] == "health.straggler"
+        assert records[0]["level"] == "warning"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            FleetHealthMonitor(straggler_factor=1.0)
+        with pytest.raises(ConfigError):
+            FleetHealthMonitor(stall_rounds=1)
+        with pytest.raises(ConfigError):
+            FleetHealthMonitor(cache_floor=0.6, cache_baseline=0.5)
+
+    def test_fleet_attaches_monitor_and_reports(self):
+        monitor = FleetHealthMonitor()
+        result, _, _ = run_fleet(1, health=monitor)
+        assert result.health is not None
+        assert result.health.rounds > 0
+        assert monitor.run_id  # the simulator filled in its run_id

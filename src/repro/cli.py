@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro metrics trace.jsonl           # trace -> Prometheus metrics
     python -m repro profile --scenario arrivals   # self-profile: hot phases
     python -m repro bench --compare benchmarks/baseline.json  # perf gate
+    python -m repro fleet --report-dir runs/a     # capture a run bundle
+    python -m repro inspect runs/a                # post-hoc findings report
+    python -m repro diff runs/a runs/b            # run-vs-run comparison
 
 ``run`` and ``sweep`` execute through :mod:`repro.exec`: ``--jobs N``
 fans the independent simulations out over N worker processes, and
@@ -57,6 +60,21 @@ Perfetto, then prints the derived summary metrics.
 ``examples/live_dashboard.py`` tails) and ``--metrics-port`` (a live
 ``/metrics`` scrape endpoint for the duration of the run).  ``metrics``
 derives the same registry offline from a recorded JSONL trace.
+
+``sweep``, ``fleet``, ``arrivals`` and ``profile`` accept
+``--report-dir DIR``: every artifact of the run — trace JSONL, Chrome
+trace, metrics snapshot, obslog, profiler phases, ExecStats and the
+command's deterministic results — is captured into DIR as a *run
+bundle* behind a schema-versioned ``manifest.json`` (``--report-gzip``
+compresses the line-oriented artifacts).  ``repro inspect BUNDLE``
+loads a bundle (:mod:`repro.inspect`) and prints typed findings —
+critical path, stragglers, wait-queue dynamics, phase rollups, cache
+effectiveness — plus the hot-phase table; ``repro diff A B`` separates
+determinism drift (results, deterministic counters, artifact meta
+counts — required zero between identical-seed runs, whatever the
+kernel backend) from expected timing deltas and attributes wall-time
+change to specific span paths.  Both write self-contained single-file
+HTML reports via ``--html``.
 
 ``profile`` and ``bench`` point the instruments at the simulator itself
 (:mod:`repro.profiling`): ``profile`` runs one pinned scenario under the
@@ -271,6 +289,56 @@ def _obs_session(args, command: str, **ids):
     return recorder, obslog, run_id, finish
 
 
+def _add_report_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--report-dir", default=None, metavar="DIR",
+                        help="capture every artifact of this run (trace, "
+                             "metrics, obslog, profiler phases, results) "
+                             "into DIR as a run bundle for `repro inspect` "
+                             "and `repro diff`")
+    parser.add_argument("--report-gzip", action="store_true",
+                        help="gzip the bundle's line-oriented artifacts "
+                             "(readers decompress transparently)")
+
+
+def _report_session(args, command: str, registry, recorder, obslog, **ids):
+    """A :class:`~repro.inspect.RunReporter` from ``--report-dir``.
+
+    Returns ``(reporter, registry, recorder, obslog)``.  Without the
+    flag the sinks pass through unchanged (``reporter`` is ``None``).
+    With it, the reporter *shares* whatever sinks the other
+    observability flags already built and creates the missing ones, so
+    the returned sinks must replace the caller's — one run, one set of
+    evidence.  ``ids`` must match what :func:`_obs_session` hashed so
+    the bundle's ``run_id`` equals the one stamped on trace/log records.
+    """
+    report_dir = getattr(args, "report_dir", None)
+    if not report_dir:
+        return None, registry, recorder, obslog
+    from repro.inspect import RunReporter
+    from repro.telemetry.provenance import config_hash
+
+    reporter = RunReporter(
+        report_dir,
+        command=command,
+        run_id=config_hash(None, command=command, **ids),
+        registry=registry,
+        recorder=recorder,
+        obslog=obslog,
+        obslog_source=getattr(args, "log_jsonl", None),
+        compress=bool(getattr(args, "report_gzip", False)),
+    )
+    return reporter, reporter.registry, reporter.recorder, reporter.obslog
+
+
+def _finish_report(reporter, results=None, exec_stats=None,
+                   clock_ghz: float = 1.0, extra=None) -> None:
+    if reporter is None:
+        return
+    path = reporter.finish(results=results, exec_stats=exec_stats,
+                           clock_ghz=clock_ghz, extra=extra)
+    print(f"wrote run bundle manifest to {path}", file=sys.stderr)
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -300,6 +368,7 @@ def _parser() -> argparse.ArgumentParser:
     _add_exec_flags(sweep)
     _add_metrics_flags(sweep)
     _add_obs_flags(sweep)
+    _add_report_flags(sweep)
     _add_backend_flag(sweep)
 
     qos = sub.add_parser("qos", help="QoS scenario: high-priority "
@@ -329,6 +398,8 @@ def _parser() -> argparse.ArgumentParser:
                           help="comma-separated benchmarks resident at cycle "
                                "0 (default: start empty)")
     _add_metrics_flags(arrivals)
+    _add_obs_flags(arrivals)
+    _add_report_flags(arrivals)
     _add_backend_flag(arrivals)
 
     fleet = sub.add_parser(
@@ -372,6 +443,7 @@ def _parser() -> argparse.ArgumentParser:
     _add_exec_flags(fleet)
     _add_metrics_flags(fleet)
     _add_obs_flags(fleet)
+    _add_report_flags(fleet)
     _add_backend_flag(fleet)
 
     trace = sub.add_parser("trace", help="run one mix with tracing enabled "
@@ -432,6 +504,7 @@ def _parser() -> argparse.ArgumentParser:
                          help="rows in the hot-phase table (default: 15)")
     profile.add_argument("--sort", choices=["self", "cum"], default="self",
                          help="order the table by self or cumulative time")
+    _add_report_flags(profile)
 
     bench = sub.add_parser(
         "bench",
@@ -457,7 +530,38 @@ def _parser() -> argparse.ArgumentParser:
     bench.add_argument("--warn-only", action="store_true",
                        help="report regressions but exit 0 (for comparing "
                             "across machines)")
+    bench.add_argument("--profile-phases", action="store_true",
+                       help="record each scenario's top self-time span "
+                            "paths (one extra profiled run) so --compare "
+                            "can attribute regressions to specific paths")
     _add_backend_flag(bench)
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="analyze a --report-dir run bundle: typed findings (critical "
+             "path, stragglers, wait queue, cache) + hot phases")
+    inspect_cmd.add_argument("bundle", metavar="DIR",
+                             help="bundle directory written by --report-dir")
+    inspect_cmd.add_argument("--html", default=None, metavar="FILE",
+                             help="also write a self-contained HTML report")
+    inspect_cmd.add_argument("--top", type=_positive_int, default=10,
+                             help="rows in the hot-phase table (default: 10)")
+
+    diff_cmd = sub.add_parser(
+        "diff",
+        help="compare two run bundles: determinism drift vs timing deltas, "
+             "with wall-time change attributed to span paths")
+    diff_cmd.add_argument("bundle_a", metavar="DIR_A",
+                          help="baseline bundle directory")
+    diff_cmd.add_argument("bundle_b", metavar="DIR_B",
+                          help="candidate bundle directory")
+    diff_cmd.add_argument("--html", default=None, metavar="FILE",
+                          help="also write a self-contained HTML report")
+    diff_cmd.add_argument("--top", type=_positive_int, default=10,
+                          help="entries per ranked section (default: 10)")
+    diff_cmd.add_argument("--expect-identical", action="store_true",
+                          help="exit 1 unless the runs show zero "
+                               "deterministic divergence")
     return parser
 
 
@@ -498,6 +602,11 @@ def cmd_sweep(args) -> int:
     registry, finish_metrics = _metrics_session(args, command="sweep")
     recorder, obslog, run_id, finish_obs = _obs_session(
         args, "sweep", policies="_".join(args.policies), cycles=args.cycles)
+    reporter, registry, recorder, obslog = _report_session(
+        args, "sweep", registry, recorder, obslog,
+        policies="_".join(args.policies), cycles=args.cycles)
+    if reporter is not None:
+        run_id = reporter.run_id
     capture = recorder is not None
     cache: Optional[ResultCache] = None
     if not args.no_cache:
@@ -511,7 +620,8 @@ def cmd_sweep(args) -> int:
         from repro.exec import merge_envelopes
 
         merge_envelopes(executor.last_envelopes, tracer=recorder,
-                        metrics=registry, run_id=run_id)
+                        metrics=registry, run_id=run_id,
+                        profiler=reporter.profiler if reporter else None)
     stats = {}
     for offset, name in enumerate(args.policies):
         chunk = results[offset * len(pairs):(offset + 1) * len(pairs)]
@@ -529,6 +639,22 @@ def cmd_sweep(args) -> int:
                 print(f"\n{name} vs bp: {gain:+.1%}")
     print(f"\n{executor.stats.format()}")
     finish_obs()
+    _finish_report(
+        reporter,
+        results={
+            "policies": {
+                name: {
+                    "stp_mean": round(statistics.fmean(stps), 6),
+                    "stp_min": round(min(stps), 6),
+                    "stp_max": round(max(stps), 6),
+                    "antt_mean": round(statistics.fmean(antts), 6),
+                }
+                for name, (stps, antts) in stats.items()
+            },
+            "mixes": len(pairs),
+        },
+        exec_stats=executor.stats,
+    )
     finish_metrics()
     return 0
 
@@ -582,9 +708,16 @@ def cmd_arrivals(args) -> int:
           f"{len(initial)} jobs resident at cycle 0\n")
     registry, finish_metrics = _metrics_session(
         args, command="arrivals", policy=args.policy, seed=str(args.seed))
+    recorder, obslog, _run_id, finish_obs = _obs_session(
+        args, "arrivals", policy=args.policy, seed=str(args.seed),
+        cycles=args.cycles)
+    reporter, registry, recorder, obslog = _report_session(
+        args, "arrivals", registry, recorder, obslog,
+        policy=args.policy, seed=str(args.seed), cycles=args.cycles)
     factory = resolve_policy(args.policy)
     system = factory(initial, arrivals=schedule, max_slots=args.max_slots,
-                     metrics=registry)
+                     metrics=registry, tracer=recorder,
+                     profiler=reporter.profiler if reporter else None)
     result = system.run(args.cycles, mix_name=label)
     print(f"{'job':<8} {'arrive':>12} {'admit':>12} {'depart':>12} "
           f"{'wait':>10} {'NP':>6}")
@@ -602,6 +735,23 @@ def cmd_arrivals(args) -> int:
               f"makespan {result.makespan:,} cycles")
     else:
         print("no job was admitted before the horizon")
+    finish_obs()
+    results_payload = {
+        "policy": args.policy,
+        "seed": args.seed,
+        "arrivals": result.arrivals,
+        "admissions": result.admissions,
+        "departures": result.departures,
+        "repartitions": result.repartitions,
+    }
+    if result.runs:
+        results_payload.update(
+            stp=round(result.stp, 6),
+            antt=round(result.antt, 6),
+            mean_queueing_delay=round(result.mean_queueing_delay, 3),
+            makespan=result.makespan,
+        )
+    _finish_report(reporter, results=results_payload)
     finish_metrics()
     return 0
 
@@ -632,6 +782,10 @@ def cmd_fleet(args) -> int:
     recorder, obslog, _run_id, finish_obs = _obs_session(
         args, "fleet", seed=str(args.seed), nodes=args.nodes,
         slicing=args.slicing, cycles=args.cycles)
+    reporter, registry, recorder, obslog = _report_session(
+        args, "fleet", registry, recorder, obslog,
+        seed=str(args.seed), nodes=args.nodes,
+        slicing=args.slicing, cycles=args.cycles)
     cache = None
     if not args.no_cache:
         # Fleet shards live in their own typed cache directory so the two
@@ -643,6 +797,7 @@ def cmd_fleet(args) -> int:
           f"{'frag':>7} {'active':>7} {'adm':>6} {'dep':>6} {'mig':>5} "
           f"{'wait':>5}  energy(J)")
     health_reports = []
+    placement_summaries = {}
     with SweepExecutor(jobs=args.jobs, cache=cache,
                        metrics=registry, log=obslog) as executor:
         for name in args.placement:
@@ -671,8 +826,10 @@ def cmd_fleet(args) -> int:
                 tracer=recorder,
                 log=obslog,
                 health=monitor,
+                profiler=reporter.profiler if reporter else None,
             )
             result = simulator.run()
+            placement_summaries[name] = result.summary()
             if monitor is not None:
                 health_reports.append((name, result.health))
             energy = (f"{result.energy.total:>10.3f}"
@@ -688,6 +845,11 @@ def cmd_fleet(args) -> int:
         print(f"\n[{name}] {report.format()}")
     print(f"\n{executor.stats.format()}", file=sys.stderr)
     finish_obs()
+    _finish_report(
+        reporter,
+        results={"placements": placement_summaries},
+        exec_stats=executor.stats,
+    )
     finish_metrics()
     return 0
 
@@ -819,6 +981,19 @@ def cmd_profile(args) -> int:
     count = profiler.write_chrome_trace(path)
     print(f"\nwrote {count} phase spans to {path} "
           "(open in chrome://tracing or https://ui.perfetto.dev)")
+    reporter, _registry, _recorder, _obslog = _report_session(
+        args, "profile", None, None, None, scenario=args.scenario)
+    if reporter is not None:
+        reporter.profiler.absorb(profiler.snapshot())
+        # Phase spans are µs-stamped; clock_ghz=0.001 renders them 1:1
+        # in the bundle's Chrome trace (same convention as
+        # PhaseProfiler.write_chrome_trace).
+        reporter.recorder.absorb(profiler.trace_events())
+        _finish_report(
+            reporter,
+            results={"scenario": scenario.name, "meta": meta},
+            clock_ghz=0.001,
+        )
     return 0
 
 
@@ -838,7 +1013,7 @@ def cmd_bench(args) -> int:
             print(name)
         return 0
     doc = run_bench(names=args.scenarios, repeats=args.repeat,
-                    progress=print)
+                    progress=print, profile_phases=args.profile_phases)
     path = write_bench(doc, args.out)
     print(f"\nwrote {bench_filename(doc)} "
           f"({len(doc['scenarios'])} scenarios, {args.repeat}x each)")
@@ -855,6 +1030,37 @@ def cmd_bench(args) -> int:
         print("(--warn-only: exiting 0 despite the failure above)")
         return 0
     return 1 if comparison.failed else 0
+
+
+def cmd_inspect(args) -> int:
+    """Post-hoc analysis of one --report-dir run bundle."""
+    from repro.inspect import analyze, load_bundle, render_html, render_text
+
+    model = load_bundle(args.bundle)
+    findings = analyze(model)
+    sys.stdout.write(render_text(model, findings, top=args.top))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(model, findings, top=args.top))
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Run-vs-run comparison of two --report-dir run bundles."""
+    from repro.inspect import diff_bundles, render_diff_html, render_diff_text
+
+    diff = diff_bundles(args.bundle_a, args.bundle_b)
+    sys.stdout.write(render_diff_text(diff, top=args.top))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_diff_html(diff))
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    if args.expect_identical and not diff.zero_divergence:
+        print("--expect-identical: deterministic divergence found",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] = None) -> int:
@@ -877,6 +1083,8 @@ def main(argv: Sequence[str] = None) -> int:
         "export": cmd_export,
         "profile": cmd_profile,
         "bench": cmd_bench,
+        "inspect": cmd_inspect,
+        "diff": cmd_diff,
     }
     return handlers[args.command](args)
 

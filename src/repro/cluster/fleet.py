@@ -736,6 +736,13 @@ class FleetSimulator:
                     cache_lookups=stats.jobs_total,
                 )
 
+            # One instant per round with the queue/residency state, so
+            # post-hoc analysis (repro.inspect) can rebuild the wait-depth
+            # timeline from the trace stream alone.
+            self._trace(
+                "round", now, round=rounds - 1, wait=len(wait),
+                resident=sum(len(n.resident) for n in self._nodes),
+            )
             if self.log is not None:
                 self.log.info(
                     "fleet.round", round=rounds - 1, now=now,

@@ -177,7 +177,8 @@ class SweepExecutor:
                     result, seconds = execute_job_timed(sweep_jobs[index])
                 results[index] = result
                 stats.job_seconds.append(seconds)
-                self._trace_job(sweep_jobs[index], seconds, start)
+                self._trace_job(sweep_jobs[index], seconds, start,
+                                envelopes[index])
         elif pending:
             if self._pool is not None:
                 self._run_pool(self._pool, sweep_jobs, pending, results,
@@ -258,16 +259,25 @@ class SweepExecutor:
                 result, seconds = future.result()
             results[index] = result
             stats.job_seconds.append(seconds)
-            self._trace_job(sweep_jobs[index], seconds, start)
+            self._trace_job(sweep_jobs[index], seconds, start,
+                            envelopes[index])
 
-    def _trace_job(self, job: SweepJob, seconds: float, start: float) -> None:
+    def _trace_job(self, job: SweepJob, seconds: float, start: float,
+                   envelope: Optional[JobEnvelope] = None) -> None:
         """Emit one ``job`` span (end-anchored: completion time is known,
-        in-worker start is not) for an executed job."""
+        in-worker start is not) for an executed job.  A captured job's
+        envelope stamps the worker identity (``pid`` + ``worker`` token)
+        onto the span, so post-hoc straggler attribution can group job
+        spans by the process that ran them."""
         if self.tracer is None:
             return
         end = time.perf_counter() - start
+        extra = {}
+        if envelope is not None:
+            extra = {"pid": envelope.pid, "worker": envelope.worker}
         self.tracer.emit(
             "job", f"{job.policy}:{job.mix_name}",
             time=max(0.0, end - seconds), duration=seconds,
             policy=job.policy, mix=job.mix_name, cycles=job.total_cycles,
+            **extra,
         )

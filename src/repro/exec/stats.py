@@ -11,7 +11,7 @@ a whole multi-policy comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -94,6 +94,38 @@ class ExecStats:
             elif self.kernel_backend != other.kernel_backend:
                 self.kernel_backend = "mixed"
         return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for run bundles (:mod:`repro.inspect`)."""
+        return {
+            "jobs_total": self.jobs_total,
+            "jobs_run": self.jobs_run,
+            "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
+            "cache_schema_evictions": self.cache_schema_evictions,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "job_seconds": list(self.job_seconds),
+            "kernel_backend": self.kernel_backend,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExecStats":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored,
+        missing keys default — bundles written by older code still load)."""
+        return cls(
+            jobs_total=int(payload.get("jobs_total", 0)),
+            jobs_run=int(payload.get("jobs_run", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_evictions=int(payload.get("cache_evictions", 0)),
+            cache_schema_evictions=int(
+                payload.get("cache_schema_evictions", 0)
+            ),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            workers=int(payload.get("workers", 1)),
+            job_seconds=[float(s) for s in payload.get("job_seconds", [])],
+            kernel_backend=str(payload.get("kernel_backend", "")),
+        )
 
     def format(self) -> str:
         """One-line human summary, e.g. for the CLI footer."""

@@ -41,9 +41,10 @@ import json
 import logging
 import os
 import time
-from typing import Any, Callable, Dict, List, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import TelemetryError
+from repro.ioutil import open_text
 
 #: The cross-stream correlation fields (also stamped onto merged trace
 #: events).  ``run_id`` and ``pid`` appear on every record; the rest
@@ -74,7 +75,8 @@ class JsonlHandler(logging.Handler):
 
     def __init__(self, path) -> None:
         super().__init__()
-        self._stream = open(path, "w", encoding="utf-8")
+        # .gz paths stream through gzip transparently (repro.ioutil).
+        self._stream = open_text(path, "w")
         self.records_written = 0
 
     def emit(self, record: logging.LogRecord) -> None:
@@ -209,15 +211,23 @@ class ObsLogger:
             self._handler.close()
 
 
-def read_obslog(path) -> List[Dict[str, Any]]:
+def read_obslog(path, strict: bool = True,
+                errors: Optional[List[str]] = None) -> List[Dict[str, Any]]:
     """Read a JSONL log back into a list of record mappings.
 
-    Raises :class:`~repro.errors.TelemetryError` on malformed lines —
-    a log that cannot be parsed is a telemetry failure, not a config
-    problem.
+    With ``strict=True`` (the default) malformed lines raise
+    :class:`~repro.errors.TelemetryError` — a log that cannot be parsed
+    is a telemetry failure, not a config problem.  With ``strict=False``
+    malformed lines — the torn final record a killed run leaves behind,
+    mirroring :func:`repro.telemetry.series.read_series` — are skipped,
+    and each skip is *reported* by appending a ``path:line: reason``
+    message to ``errors`` (when a list is passed) so loaders can surface
+    the truncation instead of silently losing evidence.
+
+    ``.gz`` paths decompress transparently.
     """
     records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path, "r") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -225,14 +235,27 @@ def read_obslog(path) -> List[Dict[str, Any]]:
             try:
                 record = json.loads(line)
             except ValueError as exc:
-                raise TelemetryError(
-                    f"{path}:{line_no}: malformed obslog record: {exc}"
-                ) from exc
+                if strict:
+                    raise TelemetryError(
+                        f"{path}:{line_no}: malformed obslog record: {exc}"
+                    ) from exc
+                if errors is not None:
+                    errors.append(
+                        f"{path}:{line_no}: malformed obslog record: {exc}"
+                    )
+                continue
             if not isinstance(record, dict):
-                raise TelemetryError(
-                    f"{path}:{line_no}: obslog record must be an object, "
-                    f"got {type(record).__name__}"
-                )
+                if strict:
+                    raise TelemetryError(
+                        f"{path}:{line_no}: obslog record must be an object, "
+                        f"got {type(record).__name__}"
+                    )
+                if errors is not None:
+                    errors.append(
+                        f"{path}:{line_no}: obslog record must be an "
+                        f"object, got {type(record).__name__}"
+                    )
+                continue
             records.append(record)
     return records
 

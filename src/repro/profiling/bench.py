@@ -295,6 +295,7 @@ def run_bench(
     suite: Optional[Dict[str, Scenario]] = None,
     clock: Callable[[], float] = time.perf_counter,
     progress: Optional[Callable[[str], None]] = None,
+    profile_phases: bool = False,
 ) -> Dict[str, Any]:
     """Run the suite ``repeats`` times per scenario; returns the artifact
     document (see the module docstring for the layout).
@@ -302,6 +303,12 @@ def run_bench(
     ``suite`` overrides the pinned scenario registry (tests inject tiny
     synthetic scenarios); ``progress`` receives one line per finished
     scenario.
+
+    ``profile_phases`` adds one *extra* (untimed) profiled run per
+    scenario and records the top self-time phase paths under a separate
+    ``phases`` key — deliberately not in ``meta``, which must stay a
+    pure determinism fingerprint — so the compare gate can say *which*
+    span paths a regression landed in, not just that one happened.
     """
     from repro.fastpath import resolve_kernel_backend
     from repro.telemetry.provenance import collect_provenance
@@ -338,6 +345,19 @@ def run_bench(
             "median_seconds": round(statistics.median(seconds), 6),
             "meta": meta,
         }
+        if profile_phases:
+            from repro.profiling.profiler import PhaseProfiler
+
+            profiler = PhaseProfiler(clock=clock)
+            scenario.fn(profiler)
+            ranked = sorted(
+                profiler.tree().items(),
+                key=lambda item: (-item[1].self_seconds, item[0]),
+            )
+            doc["scenarios"][name]["phases"] = {
+                "/".join(path): round(stats.self_seconds, 6)
+                for path, stats in ranked[:8]
+            }
         if progress is not None:
             progress(
                 f"{name:<16} min {min(seconds) * 1e3:8.1f}ms  "

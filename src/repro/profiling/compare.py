@@ -56,11 +56,14 @@ class ScenarioVerdict:
             "ok": "ok",
             "improved": "improved",
         }[self.status]
-        return (
+        line = (
             f"{self.name:<16} {marker:<11} "
             f"{self.baseline_min * 1e3:8.1f}ms -> "
             f"{self.candidate_min * 1e3:8.1f}ms  ({self.rel_delta:+.1%})"
         )
+        if self.note:
+            line += f"  [{self.note}]"
+        return line
 
 
 @dataclass
@@ -92,6 +95,31 @@ class BenchComparison:
         else:
             lines.append("PASS")
         return "\n".join(lines)
+
+
+def _phase_note(base: Dict[str, Any], cand: Dict[str, Any],
+                top: int = 3) -> str:
+    """Name the span paths that got slower, when both documents carry
+    the optional per-scenario ``phases`` self-time map (written by
+    ``run_bench(profile_phases=True)``).  Turns "this scenario regressed"
+    into "this scenario regressed *in these paths*."""
+    base_phases = base.get("phases") or {}
+    cand_phases = cand.get("phases") or {}
+    if not base_phases or not cand_phases:
+        return ""
+    deltas = sorted(
+        (
+            (cand_phases.get(path, 0.0) - base_phases.get(path, 0.0), path)
+            for path in set(base_phases) | set(cand_phases)
+        ),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    slower = [(delta, path) for delta, path in deltas if delta > 0][:top]
+    if not slower:
+        return ""
+    return "hot paths: " + ", ".join(
+        f"{path} +{delta * 1e3:.1f}ms" for delta, path in slower
+    )
 
 
 def compare_benchmarks(
@@ -169,8 +197,12 @@ def compare_benchmarks(
             status = "improved"
         else:
             status = "ok"
+        note = ""
+        if status in ("regression", "warn"):
+            note = _phase_note(base, cand)
         comparison.verdicts.append(ScenarioVerdict(
             name=name, status=status,
             baseline_min=base_min, candidate_min=cand_min, rel_delta=rel,
+            note=note,
         ))
     return comparison

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.ioutil import open_text
 from repro.telemetry.metrics import (
     MetricsRegistry,
     _HistogramChild,
@@ -122,9 +123,10 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: PathLike) -> int:
-    """Write the text exposition; returns the number of sample lines."""
+    """Write the text exposition (gzip when the path ends in ``.gz``);
+    returns the number of sample lines."""
     text = to_prometheus(registry)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         handle.write(text)
     return sum(
         1 for line in text.splitlines() if line and not line.startswith("#")
@@ -263,7 +265,7 @@ def _check_histograms(samples, types) -> None:
 
 def validate_prometheus_file(path: PathLike) -> int:
     """Parse an exposition file; returns the number of samples."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path, "r") as handle:
         parsed = parse_prometheus(handle.read())
     if not parsed["samples"]:
         raise ConfigError(f"{path}: exposition file contains no samples")
@@ -303,9 +305,10 @@ def to_json(registry: MetricsRegistry) -> Dict[str, Any]:
 
 
 def write_json(registry: MetricsRegistry, path: PathLike) -> int:
-    """Write the JSON snapshot; returns the number of families."""
+    """Write the JSON snapshot (gzip when the path ends in ``.gz``);
+    returns the number of families."""
     payload = to_json(registry)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return len(payload["metrics"])

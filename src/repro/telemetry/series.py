@@ -22,6 +22,7 @@ import csv
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
+from repro.ioutil import open_text
 from repro.telemetry.metrics import MetricsRegistry, _HistogramChild
 
 PathLike = Union[str, Path]
@@ -69,7 +70,7 @@ class CsvSampler:
     def _open(self, registry: MetricsRegistry) -> None:
         if self._handle is not None:
             return
-        self._handle = open(self.path, "w", encoding="utf-8", newline="")
+        self._handle = open_text(self.path, "w", newline="")
         for key, value in sorted(registry.provenance.items()):
             self._handle.write(f"# {key}={value}\n")
         self._writer = csv.writer(self._handle)
@@ -134,7 +135,7 @@ def read_series(path: PathLike, strict: bool = True) -> List[SeriesRow]:
     live dashboard — are skipped instead of raising.
     """
     rows: List[SeriesRow] = []
-    with open(path, "r", encoding="utf-8", newline="") as handle:
+    with open_text(path, "r", newline="") as handle:
         reader = csv.reader(
             line for line in handle if not line.startswith("#")
         )
@@ -156,7 +157,7 @@ def read_series(path: PathLike, strict: bool = True) -> List[SeriesRow]:
 def read_provenance(path: PathLike) -> Dict[str, str]:
     """The ``#``-comment provenance block of a sampler CSV."""
     out: Dict[str, str] = {}
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path, "r") as handle:
         for line in handle:
             if not line.startswith("#"):
                 break

@@ -15,6 +15,9 @@ Two formats cover the two consumers:
 Simulation-layer timestamps are GPU cycles; Chrome traces want
 microseconds, so :func:`chrome_trace` divides by ``clock_ghz * 1000``
 cycles-per-microsecond (default 1 GHz, so 1 ms of trace = 1M cycles).
+
+Paths ending in ``.gz`` are read and written gzip-compressed (see
+:mod:`repro.ioutil`); fleet-scale JSONL traces shrink roughly 20x.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.ioutil import open_text
 from repro.trace.recorder import KIND_SPAN, TraceEvent
 
 PathLike = Union[str, Path]
@@ -35,7 +39,7 @@ PathLike = Union[str, Path]
 def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
     """Write one JSON record per line; returns the number written."""
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         for event in events:
             handle.write(json.dumps(event.to_dict(), sort_keys=True))
             handle.write("\n")
@@ -46,7 +50,7 @@ def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
 def read_jsonl(path: PathLike) -> List[TraceEvent]:
     """Read a JSONL trace back into :class:`TraceEvent` records."""
     events: List[TraceEvent] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path, "r") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -177,6 +181,6 @@ def write_chrome_trace(
 ) -> int:
     """Write the Chrome-trace JSON; returns the number of trace events."""
     payload = chrome_trace(events, clock_ghz=clock_ghz)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         json.dump(payload, handle)
     return len(payload["traceEvents"])

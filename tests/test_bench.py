@@ -213,6 +213,53 @@ class TestCompare:
         doc = synthetic_doc({"a": (0.1, self.META), "b": (0.2, self.META)})
         assert not compare_benchmarks(doc, doc).failed
 
+    def test_regression_note_names_hot_paths(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.200, self.META)})
+        base["scenarios"]["s"]["phases"] = {"epoch": 0.010,
+                                            "epoch/advance": 0.050}
+        cand["scenarios"]["s"]["phases"] = {"epoch": 0.011,
+                                            "epoch/advance": 0.140}
+        verdict = compare_benchmarks(base, cand).verdicts[0]
+        assert verdict.status == "regression"
+        assert verdict.note.startswith("hot paths: ")
+        # The dominant delta leads, and it lands in the rendered line.
+        assert "epoch/advance +90.0ms" in verdict.note
+        assert "[hot paths: " in verdict.format()
+
+    def test_phase_note_absent_without_phase_maps(self):
+        base = synthetic_doc({"s": (0.100, self.META)})
+        cand = synthetic_doc({"s": (0.200, self.META)})
+        verdict = compare_benchmarks(base, cand).verdicts[0]
+        assert verdict.status == "regression" and verdict.note == ""
+
+
+class TestProfilePhases:
+    def test_phases_recorded_separately_from_meta(self):
+        def fn(profiler=None):
+            if profiler is not None:
+                profiler.begin("work")
+                profiler.begin("inner")
+                profiler.end("inner")
+                profiler.end("work")
+            return {"count": 3}
+
+        suite = {"gamma": Scenario("gamma", "profiled scenario", fn)}
+        # 2 reads for the timing repeat, then 4 for the profiled spans.
+        clock = ScriptedClock([0.0, 1.0, 2.0, 2.5, 4.5, 5.0])
+        doc = run_bench(names=["gamma"], repeats=1, suite=suite,
+                        clock=clock, profile_phases=True)
+        gamma = doc["scenarios"]["gamma"]
+        assert gamma["meta"] == {"count": 3}  # fingerprint untouched
+        assert gamma["phases"] == {"work/inner": pytest.approx(2.0),
+                                   "work": pytest.approx(1.0)}
+        # Ranked by self time: the inner span dominates.
+        assert list(gamma["phases"]) == ["work/inner", "work"]
+
+    def test_phases_omitted_by_default(self):
+        doc = run_bench(names=["alpha"], repeats=1, suite=tiny_suite())
+        assert "phases" not in doc["scenarios"]["alpha"]
+
 
 class TestCli:
     def test_bench_list(self, capsys):

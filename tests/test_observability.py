@@ -440,6 +440,32 @@ class TestObsLogger:
         with pytest.raises(TelemetryError, match="bad.jsonl:2"):
             read_obslog(path)
 
+    def test_torn_final_line_tolerated_when_not_strict(self, tmp_path):
+        # A killed run leaves a partial final record behind; non-strict
+        # reads keep the intact prefix and report the truncation.
+        path = tmp_path / "killed.jsonl"
+        log = ObsLogger(path, run_id="r" * 16)
+        log.info("fleet.run", nodes=4)
+        log.info("fleet.round", round=0)
+        log.close()
+        with open(path, "a") as handle:
+            handle.write('{"ts": 3.0, "level": "in')
+        with pytest.raises(TelemetryError, match="killed.jsonl:3"):
+            read_obslog(path)
+        errors = []
+        records = read_obslog(path, strict=False, errors=errors)
+        assert [r["event"] for r in records] == ["fleet.run", "fleet.round"]
+        assert len(errors) == 1 and "killed.jsonl:3" in errors[0]
+
+    def test_gzip_obslog_round_trip(self, tmp_path):
+        path = tmp_path / "run.log.jsonl.gz"
+        log = ObsLogger(path, run_id="beef" * 4)
+        log.info("fleet.run", nodes=2)
+        log.close()
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert validate_obslog_file(path) == 1
+        assert read_obslog(path)[0]["event"] == "fleet.run"
+
     def test_validation_flags_missing_and_mistyped_fields(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ts": 1.0, "level": "info", "event": "x"}\n')

@@ -2,6 +2,7 @@
 exposition round-trips, CSV series, the scrape server, provenance, and
 the trace->metrics bridge against live instrumentation."""
 
+import json
 import math
 import urllib.request
 
@@ -183,6 +184,23 @@ class TestPrometheusRoundTrip:
         count = write_prometheus(self._registry(), path)
         assert validate_prometheus_file(path) == count
 
+    def test_gzip_file_write_and_validate(self, tmp_path):
+        path = tmp_path / "out.prom.gz"
+        count = write_prometheus(self._registry(), path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert validate_prometheus_file(path) == count
+
+    def test_gzip_json_snapshot_round_trips(self, tmp_path):
+        import gzip
+
+        from repro.telemetry.exposition import write_json
+
+        path = tmp_path / "metrics.json.gz"
+        write_json(self._registry(), path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["provenance"]["git_sha"] == "abc123"
+
     def test_malformed_exposition_rejected(self):
         with pytest.raises(ConfigError):
             parse_prometheus("not a metric line at all {")
@@ -234,6 +252,23 @@ class TestCsvSeries:
         provenance = read_provenance(tmp_path / "series.csv")
         assert provenance["policy"] == "test"
         assert "git_sha" in provenance and "config_hash" in provenance
+
+    def test_gzip_sampler_round_trip(self, tmp_path):
+        from repro.telemetry import CsvSampler
+
+        reg = MetricsRegistry()
+        stamp(reg, None, policy="test")
+        counter = reg.counter("repro_c_total")
+        sampler = CsvSampler(tmp_path / "series.csv.gz").attach(reg)
+        counter.inc(4)
+        reg.epoch_boundary(0, 1000.0)
+        sampler.close()
+
+        path = tmp_path / "series.csv.gz"
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        rows = read_series(path)
+        assert series_values(rows, "repro_c_total") == [(0, 4.0)]
+        assert read_provenance(path)["policy"] == "test"
 
 
 class TestMetricsServer:

@@ -108,6 +108,15 @@ class TestExport:
         assert write_jsonl(events, path) == 3
         assert read_jsonl(path) == events
 
+    def test_jsonl_gzip_round_trip(self, tmp_path):
+        events = self._sample_events()
+        path = tmp_path / "trace.jsonl.gz"
+        assert write_jsonl(events, path) == 3
+        # The artifact really is gzip (magic bytes), not plain text with
+        # a misleading extension.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_jsonl(path) == events
+
     def test_jsonl_malformed_line_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"not": "a trace record"}\n')
